@@ -1,0 +1,48 @@
+package tpsim
+
+import (
+	"repro/internal/balloon"
+	"repro/internal/diffengine"
+	"repro/internal/guestos"
+	"repro/internal/hypervisor"
+)
+
+// Related-work baselines (paper §6), exposed for comparison experiments.
+
+// DiffEngineResult is what a Difference-Engine-style policy (sub-page
+// sharing + compression, Gupta et al. OSDI '08) would recover from a live
+// memory state.
+type DiffEngineResult = diffengine.Result
+
+// DiffEngineConfig tunes the Difference Engine analysis.
+type DiffEngineConfig = diffengine.Config
+
+// DiffEngineAnalyze scans a cluster's host and reports the recoverable
+// memory under whole-page sharing, sub-page delta sharing, and compression,
+// together with the access-penalty page count TPS avoids.
+func DiffEngineAnalyze(c *Cluster, cfg DiffEngineConfig) DiffEngineResult {
+	return diffengine.Analyze(c.Host, cfg)
+}
+
+// DefaultDiffEngineConfig mirrors Difference Engine's thresholds.
+func DefaultDiffEngineConfig() DiffEngineConfig { return diffengine.DefaultConfig() }
+
+// BalloonManager is the ballooning baseline (Waldspurger OSDI '02): a
+// manager that reclaims guest page cache under host memory pressure.
+type BalloonManager = balloon.Manager
+
+// BalloonConfig tunes the balloon manager.
+type BalloonConfig = balloon.Config
+
+// NewBalloonManager attaches a balloon manager to a cluster's guests.
+func NewBalloonManager(c *Cluster, cfg BalloonConfig) *BalloonManager {
+	return balloon.NewManager(c.Host, c.Kernels, cfg)
+}
+
+// Re-exported low-level types for advanced scenario composition.
+type (
+	// Host is the KVM-style machine.
+	Host = hypervisor.Host
+	// GuestKernel is one guest's operating system instance.
+	GuestKernel = guestos.Kernel
+)

@@ -1,0 +1,95 @@
+// Command cdstool creates, inspects and compares shared class cache images
+// — the artifact §4.C copies into every guest VM's base image.
+//
+// Usage:
+//
+//	cdstool -workload daytrader [-scale N] [-capacity MB] create   # cold run, print summary
+//	cdstool -workload daytrader dump                               # list entries
+//	cdstool -workload daytrader diff                               # two cold runs, byte-compare
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/classlib"
+	"repro/internal/jvm"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	spec := flag.String("workload", "daytrader", "daytrader, specje, tpcw, tuscany")
+	scale := flag.Int("scale", 16, "memory scale divisor")
+	capacity := flag.Int64("capacity", 0, "override cache capacity in MB (0 = Table III value)")
+	flag.Parse()
+
+	var w workload.Spec
+	switch *spec {
+	case "daytrader":
+		w = workload.DayTrader()
+	case "specje":
+		w = workload.SPECjEnterprise()
+	case "tpcw":
+		w = workload.TPCW()
+	case "tuscany":
+		w = workload.Tuscany()
+	default:
+		fmt.Fprintf(os.Stderr, "cdstool: unknown workload %q\n", *spec)
+		os.Exit(2)
+	}
+	if *capacity > 0 {
+		w.CacheBytes = *capacity << 20
+	}
+	corpus := classlib.NewCorpus(jvm.RuntimeVersion, *scale)
+
+	cmd := "create"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	switch cmd {
+	case "create":
+		img := workload.BuildCache(corpus, w, *scale)
+		fmt.Printf("cache %q (version %s)\n", img.Name, img.Version)
+		fmt.Printf("  capacity:   %s MB (paper-scale %s MB)\n", report.MB1(img.Capacity), report.MB(img.Capacity*int64(*scale)))
+		fmt.Printf("  populated:  %s MB in %d classes\n", report.MB1(img.UsedBytes()), img.ClassCount())
+		fmt.Printf("  overflowed: %d classes\n", len(img.Overflowed))
+		// The paper: ~90 % middleware classes, ~10 % Java system classes.
+		sys := 0
+		for _, e := range img.Entries() {
+			if cl, ok := corpus.Class(e.Name); ok && cl.Group == classlib.GroupJDK {
+				sys++
+			}
+		}
+		fmt.Printf("  system-class fraction: %.1f%% (paper: ≈10%%)\n", 100*float64(sys)/float64(img.ClassCount()))
+	case "dump":
+		img := workload.BuildCache(corpus, w, *scale)
+		t := &report.Table{Headers: []string{"#", "Offset", "Size", "Class"}}
+		for i, e := range img.Entries() {
+			if i >= 40 && i < img.ClassCount()-5 {
+				if i == 40 {
+					t.AddRow("...", "", "", fmt.Sprintf("(%d more)", img.ClassCount()-45))
+				}
+				continue
+			}
+			t.AddRow(i, e.Offset, e.Size, e.Name)
+		}
+		fmt.Println(t)
+	case "diff":
+		a := workload.BuildCache(corpus, w, *scale).FileBytes(corpus)
+		b := workload.BuildCache(corpus, w, *scale).FileBytes(corpus)
+		if bytes.Equal(a, b) {
+			fmt.Println("two independent cold runs produced byte-identical cache files")
+			fmt.Println("(this determinism is what makes copying one file to all VMs equivalent")
+			fmt.Println(" to each VM populating its own — and what lets KSM merge the pages)")
+		} else {
+			fmt.Println("MISMATCH: cold runs diverged — layout determinism is broken")
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cdstool: unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,171 @@
+// Command tpsim reruns the experiments of "Increasing the Transparent Page
+// Sharing in Java" (ISPASS 2013) on the simulated stack and prints
+// paper-style reports.
+//
+// Usage:
+//
+//	tpsim [-scale N] [-seed S] [-quick] <experiment> [...]
+//
+// Experiments: table1 table2 table3 table4 fig2 fig3a fig3b fig3c fig4
+// fig5a fig5b fig5c fig6 fig7 fig8, or "all". fig2/fig3a share one run, as
+// do fig4/fig5a; requesting either id prints that part.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	scale := flag.Int("scale", 0, "memory scale divisor (0 = default 16; smaller = slower, more faithful)")
+	seed := flag.Uint64("seed", 0, "randomization seed")
+	quick := flag.Bool("quick", false, "shorter steady state and sweeps")
+	csv := flag.Bool("csv", false, "emit CSV instead of rendered reports")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opts := core.Options{Scale: *scale, Seed: core.SeedFromUint64(*seed), Quick: *quick}
+	asCSV = *csv
+	for _, id := range flag.Args() {
+		if err := run(id, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "tpsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `tpsim — rerun the ISPASS 2013 TPS-in-Java experiments
+
+usage: tpsim [-scale N] [-seed S] [-quick] <experiment>...
+
+experiments:
+  table1..table4   the paper's configuration tables
+  fig2, fig3a      baseline 4x DayTrader breakdown (one run, two views)
+  fig3b            DayTrader / SPECjEnterprise / TPC-W baseline
+  fig3c            3x Tuscany bigbank baseline
+  fig4, fig5a      the same with the shared class cache copied to all VMs
+  fig5b, fig5c     mixed and Tuscany breakdowns with caches
+  fig6             PowerVM: totals before/after sharing, +/- preloading
+  fig7             DayTrader throughput vs 1..9 guest VMs
+  fig8             SPECjEnterprise score vs 5..8 guest VMs
+  check            evaluate every paper claim on quick runs (self-test)
+  all              everything above
+`)
+}
+
+// asCSV selects CSV output (set by -csv).
+var asCSV bool
+
+func printMem(f core.MemFigure) {
+	if asCSV {
+		fmt.Print(core.MemFigureTable(f).CSV())
+		return
+	}
+	fmt.Println(core.RenderMemFigure(f))
+}
+
+func printJava(f core.JavaFigure) {
+	if asCSV {
+		fmt.Print(core.JavaFigureTable(f).CSV())
+		return
+	}
+	fmt.Println(core.RenderJavaFigure(f))
+}
+
+func printSweep(f core.SweepFigure) {
+	if asCSV {
+		fmt.Print(core.SweepFigureTable(f).CSV())
+		return
+	}
+	fmt.Println(core.RenderSweepFigure(f))
+}
+
+func printPower(f core.PowerFigure) {
+	if asCSV {
+		fmt.Print(core.PowerFigureTable(f).CSV())
+		return
+	}
+	fmt.Println(core.RenderPowerFigure(f))
+}
+
+func printTable(t interface {
+	String() string
+	CSV() string
+}) {
+	if asCSV {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t)
+}
+
+func run(id string, opts core.Options) error {
+	start := time.Now()
+	switch id {
+	case "table1":
+		printTable(core.Table1())
+	case "table2":
+		printTable(core.Table2())
+	case "table3":
+		printTable(core.Table3())
+	case "table4":
+		printTable(core.Table4())
+	case "fig2", "fig3a":
+		memF, javaF := core.Fig2(opts)
+		if id == "fig2" {
+			printMem(memF)
+		} else {
+			printJava(javaF)
+		}
+	case "fig4", "fig5a":
+		memF, javaF := core.Fig4(opts)
+		if id == "fig4" {
+			printMem(memF)
+		} else {
+			printJava(javaF)
+		}
+	case "fig3b":
+		printJava(core.Fig3b(opts))
+	case "fig3c":
+		printJava(core.Fig3c(opts))
+	case "fig5b":
+		printJava(core.Fig5b(opts))
+	case "fig5c":
+		printJava(core.Fig5c(opts))
+	case "fig6":
+		printPower(core.Fig6(opts))
+	case "fig7":
+		printSweep(core.Fig7(opts))
+	case "fig8":
+		printSweep(core.Fig8(opts))
+	case "check":
+		out, ok := core.RunClaims(opts)
+		fmt.Print(out)
+		if !ok {
+			return fmt.Errorf("some claims failed")
+		}
+	case "all":
+		for _, sub := range []string{"table1", "table2", "table3", "table4",
+			"fig2", "fig3a", "fig3b", "fig3c", "fig4", "fig5a", "fig5b", "fig5c",
+			"fig6", "fig7", "fig8"} {
+			if err := run(sub, opts); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q (see -h)", id)
+	}
+	if !asCSV {
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

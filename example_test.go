@@ -1,0 +1,72 @@
+package tpsim_test
+
+import (
+	"fmt"
+	"os"
+
+	tpsim "repro"
+)
+
+// Reproduce the paper's headline experiment: Fig. 4 / Fig. 5(a), the
+// 4×DayTrader cluster with one shared class cache file copied into every
+// guest image.
+func Example_headline() {
+	memFig, javaFig := tpsim.Fig4(tpsim.Options{Quick: true})
+	fmt.Print(tpsim.RenderMemFigure(memFig))
+	fmt.Print(tpsim.RenderJavaFigure(javaFig))
+}
+
+// Compose a custom scenario: six TPC-W guests with the technique enabled,
+// then apply the paper's owner-oriented measurement methodology.
+func Example_customScenario() {
+	c := tpsim.BuildCluster(tpsim.ClusterConfig{
+		Specs:         []tpsim.WorkloadSpec{tpsim.TPCW()},
+		NumVMs:        6,
+		SharedClasses: true,
+	})
+	c.Run()
+
+	a := c.Analyze()
+	for _, vm := range a.VMBreakdowns() {
+		fmt.Printf("%s: %d bytes used, %d bytes saved by TPS\n",
+			vm.VMName, vm.Total(), vm.SavingsBytes)
+	}
+
+	perf := c.MeasurePerf(20)
+	fmt.Printf("aggregate throughput: %.1f req/s\n", tpsim.Aggregate(perf))
+}
+
+// Capture a system dump (the paper's §2.B collection step) and analyze it
+// offline — for example on a different machine.
+func Example_dumpWorkflow() {
+	c := tpsim.BuildCluster(tpsim.ClusterConfig{
+		Specs:  []tpsim.WorkloadSpec{tpsim.DayTrader()},
+		NumVMs: 2,
+	})
+	c.Run()
+
+	f, _ := os.Create("cluster.dump")
+	_ = tpsim.CaptureDump(c).Write(f)
+	f.Close()
+
+	g, _ := os.Open("cluster.dump")
+	d, _ := tpsim.ReadDump(g)
+	g.Close()
+	fmt.Printf("offline attribution: %d bytes\n", tpsim.AnalyzeDump(d).TotalGuestBytes())
+}
+
+// Evaluate Memory-Buddies-style colocation against round-robin placement.
+func Example_placement() {
+	specs := []tpsim.WorkloadSpec{tpsim.DayTrader(), tpsim.DayTrader(), tpsim.Tuscany(), tpsim.Tuscany()}
+	reqs := make([]tpsim.PlacementRequest, len(specs))
+	for i, s := range specs {
+		reqs[i] = tpsim.PlacementRequest{
+			Spec:        s,
+			Fingerprint: tpsim.FingerprintWorkload(s, false, tpsim.DefaultScale, 0),
+		}
+	}
+	smart := tpsim.EvaluatePlacement(reqs, tpsim.PlaceBySimilarity(reqs, 2, 2), false, tpsim.DefaultScale, 0)
+	naive := tpsim.EvaluatePlacement(reqs, tpsim.PlaceRoundRobin(len(reqs), 2), false, tpsim.DefaultScale, 0)
+	fmt.Printf("smart placement saves %.0f MB, round-robin %.0f MB\n",
+		smart.TotalSavedMB, naive.TotalSavedMB)
+}

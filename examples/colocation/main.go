@@ -1,0 +1,46 @@
+// Colocation: the Memory Buddies related-work baseline (§6) end to end.
+// Eight mixed VMs arrive grouped by tenant; a content-blind round-robin
+// placer splits similar VMs across hosts, while fingerprint-based packing
+// reunites them — and the measured TPS savings show the difference. The
+// paper's technique is complementary: it *creates* page identity that any
+// placement can then exploit.
+//
+//	go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+func main() {
+	const scale = 48
+	specs := []workload.Spec{
+		workload.DayTrader(), workload.DayTrader(),
+		workload.TPCW(), workload.TPCW(),
+		workload.Tuscany(), workload.Tuscany(),
+	}
+
+	fmt.Println("Fingerprinting each VM (solo warm-up run, page-content checksums)...")
+	reqs := make([]placement.Request, len(specs))
+	for i, s := range specs {
+		reqs[i] = placement.Request{Spec: s, Fingerprint: placement.FingerprintSpec(s, false, scale, 0)}
+		fmt.Printf("  %-16s fingerprint: %6d distinct pages\n", s.Name, len(reqs[i].Fingerprint))
+	}
+
+	fmt.Println("\n--- Round-robin placement (content-blind) onto 3 hosts ---")
+	rr := placement.Evaluate(reqs, placement.RoundRobin(len(reqs), 3), false, scale, 0)
+	fmt.Print(rr)
+
+	fmt.Println("\n--- Memory Buddies placement (fingerprint similarity) ---")
+	smart := placement.Evaluate(reqs, placement.BySimilarity(reqs, 3, 2), false, scale, 0)
+	fmt.Print(smart)
+
+	fmt.Printf("\nSmart colocation recovers %.0f MB more than round-robin (%.0f vs %.0f).\n",
+		smart.TotalSavedMB-rr.TotalSavedMB, smart.TotalSavedMB, rr.TotalSavedMB)
+	fmt.Println("Note the paper's observation: for Java VMs, even perfect colocation is")
+	fmt.Println("limited by the JVM's uncontrolled layouts — combine it with the shared")
+	fmt.Println("class cache (SharedClasses=true) and the savings multiply.")
+}

@@ -1,0 +1,58 @@
+// Consolidation: the Fig. 7 scenario as a capacity-planning tool. Sweeps
+// the number of DayTrader guest VMs on one 6 GB host and prints where the
+// throughput cliff falls with and without the preloaded shared class cache
+// — the paper's "one extra guest VM with acceptable performance".
+//
+//	go run ./examples/consolidation [-from N] [-to N] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	tpsim "repro"
+)
+
+func main() {
+	from := flag.Int("from", 6, "first VM count")
+	to := flag.Int("to", 9, "last VM count")
+	scale := flag.Int("scale", 0, "memory scale divisor (0 = default)")
+	flag.Parse()
+
+	fmt.Println("VMs | default config (req/s) | with shared cache (req/s)")
+	fmt.Println("----+------------------------+--------------------------")
+
+	lastOKDefault, lastOKShared := 0, 0
+	for n := *from; n <= *to; n++ {
+		var results [2]float64
+		for i, shared := range []bool{false, true} {
+			c := tpsim.BuildCluster(tpsim.ClusterConfig{
+				Scale:              *scale,
+				Specs:              []tpsim.WorkloadSpec{tpsim.DayTrader()},
+				NumVMs:             n,
+				SharedClasses:      shared,
+				SteadyRounds:       8,
+				IterationsPerRound: 25,
+			})
+			c.Run()
+			perf := c.MeasurePerf(20)
+			results[i] = tpsim.Aggregate(perf)
+			// "Acceptable": within 25 % of the unloaded aggregate.
+			unloaded := float64(n) * tpsim.DayTrader().BaseRequestsPerSec
+			if results[i] > 0.75*unloaded {
+				if shared {
+					lastOKShared = n
+				} else {
+					lastOKDefault = n
+				}
+			}
+		}
+		fmt.Printf("%3d | %22.1f | %24.1f\n", n, results[0], results[1])
+	}
+
+	fmt.Println()
+	fmt.Printf("Acceptable up to %d guest VMs with the default configuration,\n", lastOKDefault)
+	fmt.Printf("and up to %d with the shared class cache — the technique buys %d extra VM(s).\n",
+		lastOKShared, lastOKShared-lastOKDefault)
+	fmt.Println("(Paper Fig. 7: 7 VMs default, 8 VMs with preloading.)")
+}

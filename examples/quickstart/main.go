@@ -1,0 +1,57 @@
+// Quickstart: two guest VMs running WAS + DayTrader on one KVM-style host,
+// measured twice — without and with the paper's technique (one populated
+// shared class cache file copied into both VM images). Prints how much of
+// each Java memory category Transparent Page Sharing recovers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	tpsim "repro"
+)
+
+func main() {
+	fmt.Println("== Transparent Page Sharing in Java: quickstart ==")
+	fmt.Println()
+
+	for _, shared := range []bool{false, true} {
+		label := "default configuration (no preloading)"
+		if shared {
+			label = "shared class cache copied to both VMs (-Xshareclasses)"
+		}
+		fmt.Printf("--- %s ---\n", label)
+
+		cluster := tpsim.BuildCluster(tpsim.ClusterConfig{
+			Specs:         []tpsim.WorkloadSpec{tpsim.DayTrader()},
+			NumVMs:        2,
+			SharedClasses: shared,
+		})
+		cluster.Run() // KSM warm-up at 10 000 pages/100 ms, then steady state
+
+		analysis := cluster.Analyze()
+		scale := int64(cluster.Cfg.Scale)
+		mb := func(b int64) float64 { return float64(b*scale) / (1 << 20) }
+
+		for _, vm := range analysis.VMBreakdowns() {
+			fmt.Printf("%-6s uses %6.0f MB of host memory; TPS saves it %6.0f MB\n",
+				vm.VMName, mb(vm.Total()), mb(vm.SavingsBytes))
+		}
+		for _, jb := range analysis.JavaBreakdowns() {
+			cm := jb.ByCat["Class metadata"]
+			frac := 0.0
+			if cm.MappedBytes > 0 {
+				frac = 100 * float64(cm.SharedBytes) / float64(cm.MappedBytes)
+			}
+			fmt.Printf("  %s JVM (pid %d): class metadata %5.0f MB, %5.1f%% shared with TPS\n",
+				jb.VMName, jb.PID, mb(cm.MappedBytes), frac)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The second run shows the paper's effect: with one cache file copied")
+	fmt.Println("into every guest, the read-only class metadata has identical layout in")
+	fmt.Println("all VMs and KSM merges it — the paper measures up to 89.6% of the class")
+	fmt.Println("metadata eliminated for non-primary JVMs (Fig. 5(a)).")
+}

@@ -1,0 +1,59 @@
+package tpsim
+
+import (
+	"io"
+
+	"repro/internal/dump"
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// System dumps (§2.B): capture a cluster's full translation state into a
+// serializable snapshot and analyze it offline, like the paper's
+// crash/virsh-dump workflow.
+
+// Dump is a frozen, serializable snapshot of a cluster's memory state.
+type Dump = dump.Dump
+
+// CaptureDump freezes the cluster (all three translation layers of every
+// guest plus frame checksums).
+func CaptureDump(c *Cluster) *Dump {
+	return dump.Capture(c.Host, c.Kernels)
+}
+
+// ReadDump loads a serialized dump.
+func ReadDump(r io.Reader) (*Dump, error) { return dump.Read(r) }
+
+// AnalyzeDump runs the owner-oriented attribution offline; results are
+// identical to Cluster.Analyze on the live state.
+func AnalyzeDump(d *Dump) *dump.Analysis { return dump.Analyze(d) }
+
+// VM placement (Memory Buddies baseline, §6 related work).
+
+// PlacementRequest is one VM to place across hosts.
+type PlacementRequest = placement.Request
+
+// FingerprintWorkload runs a workload solo and fingerprints its memory
+// content for similarity-based placement.
+func FingerprintWorkload(spec WorkloadSpec, shared bool, scale int, seed Seed) placement.Fingerprint {
+	return placement.FingerprintSpec(spec, shared, scale, seed)
+}
+
+// PlaceRoundRobin spreads n requests over hosts without content knowledge.
+var PlaceRoundRobin = placement.RoundRobin
+
+// PlaceBySimilarity packs requests with the largest fingerprint overlap
+// onto the same hosts.
+var PlaceBySimilarity = placement.BySimilarity
+
+// EvaluatePlacement measures a placement end to end (one simulated host per
+// bin, KSM running).
+var EvaluatePlacement = placement.Evaluate
+
+// Experiment timeline (ClusterConfig.EnableTrace).
+
+// TraceLog is the recorded event timeline of a cluster run.
+type TraceLog = trace.Log
+
+// TraceEvent is one timeline entry.
+type TraceEvent = trace.Event

@@ -1,0 +1,75 @@
+// Package balloon implements the ballooning baseline (Waldspurger, OSDI
+// '02) the paper's related-work section contrasts with TPS: a manager that
+// responds to host memory pressure by asking guests to give memory back.
+// The guest kernel satisfies the request the cheap way first — shrinking
+// its page cache — exactly the behaviour the paper cites as ballooning's
+// advantage ("it can reduce memory by shrinking its disk cache rather than
+// by paging-out pages").
+//
+// The paper also notes KVM ships no balloon resource manager, so a separate
+// manager must decide target sizes; this package is that manager, with the
+// simple proportional heuristic the paper alludes to.
+package balloon
+
+import (
+	"repro/internal/guestos"
+	"repro/internal/hypervisor"
+)
+
+// Config tunes the manager.
+type Config struct {
+	// LowWatermarkBytes triggers inflation when host free memory drops
+	// below it.
+	LowWatermarkBytes int64
+	// TargetFreeBytes is how much free memory inflation tries to recover.
+	TargetFreeBytes int64
+}
+
+// Manager balances guest balloons against host pressure.
+type Manager struct {
+	host    *hypervisor.Host
+	cfg     Config
+	kernels []*guestos.Kernel
+
+	stats Stats
+}
+
+// Stats counts balloon activity.
+type Stats struct {
+	Inflations     uint64
+	PagesReclaimed int
+}
+
+// NewManager creates a manager over the given guests.
+func NewManager(host *hypervisor.Host, kernels []*guestos.Kernel, cfg Config) *Manager {
+	if cfg.LowWatermarkBytes <= 0 {
+		cfg.LowWatermarkBytes = int64(host.PageSize()) * 256
+	}
+	if cfg.TargetFreeBytes < cfg.LowWatermarkBytes {
+		cfg.TargetFreeBytes = cfg.LowWatermarkBytes * 2
+	}
+	return &Manager{host: host, cfg: cfg, kernels: kernels}
+}
+
+// Stats returns manager counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Balance checks host pressure and, if free memory is below the low
+// watermark, inflates every guest's balloon proportionally until the target
+// is met or the guests have nothing cheap left to give. It returns the
+// number of pages recovered.
+func (m *Manager) Balance() int {
+	free := m.host.FreeBytes()
+	if free >= m.cfg.LowWatermarkBytes || len(m.kernels) == 0 {
+		return 0
+	}
+	m.stats.Inflations++
+	needPages := int((m.cfg.TargetFreeBytes - free) / int64(m.host.PageSize()))
+	perGuest := needPages/len(m.kernels) + 1
+	total := 0
+	for _, k := range m.kernels {
+		total += k.ReclaimPages(perGuest)
+	}
+	m.stats.PagesReclaimed += total
+	return total
+}

@@ -1,0 +1,77 @@
+package balloon
+
+import (
+	"testing"
+
+	"repro/internal/guestos"
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/simclock"
+)
+
+const pg = mem.DefaultPageSize
+
+func build(t *testing.T, hostPages, guestPages, cachePages int) (*hypervisor.Host, []*guestos.Kernel) {
+	t.Helper()
+	h := hypervisor.NewHost(hypervisor.Config{Name: "t", RAMBytes: int64(hostPages) * pg}, simclock.New())
+	var ks []*guestos.Kernel
+	for i := 0; i < 2; i++ {
+		vm := h.NewVM(hypervisor.VMConfig{Name: "vm", GuestMemBytes: int64(guestPages) * pg, Seed: mem.Seed(i + 1)})
+		k := guestos.Boot(vm, guestos.KernelConfig{Version: "v"})
+		k.FS().InstallGenerated("/data", "1", int64(cachePages)*pg)
+		k.ReadFileAll("/data")
+		ks = append(ks, k)
+	}
+	return h, ks
+}
+
+func TestNoInflationWhenMemoryAmple(t *testing.T) {
+	h, ks := build(t, 1024, 128, 16)
+	m := NewManager(h, ks, Config{LowWatermarkBytes: 4 * pg, TargetFreeBytes: 8 * pg})
+	if got := m.Balance(); got != 0 {
+		t.Fatalf("reclaimed %d with ample memory", got)
+	}
+	if m.Stats().Inflations != 0 {
+		t.Fatal("inflation counted without pressure")
+	}
+}
+
+func TestInflationShrinksPageCacheUnderPressure(t *testing.T) {
+	// Host with 100 pages; two guests each caching 32 file pages → ~64 used.
+	h, ks := build(t, 100, 64, 32)
+	free := h.FreeBytes()
+	m := NewManager(h, ks, Config{LowWatermarkBytes: free + 8*pg, TargetFreeBytes: free + 24*pg})
+	got := m.Balance()
+	if got == 0 {
+		t.Fatal("no reclamation under pressure")
+	}
+	if h.FreeBytes() <= free {
+		t.Fatal("host free memory did not grow")
+	}
+	for _, k := range ks {
+		if k.Stats().PageCacheDrops == 0 {
+			t.Fatal("guest page cache untouched")
+		}
+	}
+	if m.Stats().PagesReclaimed != got {
+		t.Fatal("stats inconsistent")
+	}
+}
+
+func TestInflationBoundedByReclaimable(t *testing.T) {
+	h, ks := build(t, 100, 64, 8)
+	free := h.FreeBytes()
+	m := NewManager(h, ks, Config{LowWatermarkBytes: free + 512*pg, TargetFreeBytes: free + 1024*pg})
+	got := m.Balance()
+	if got > 16 {
+		t.Fatalf("reclaimed %d pages, more than the caches hold", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	h, ks := build(t, 1024, 64, 8)
+	m := NewManager(h, ks, Config{})
+	if m.cfg.LowWatermarkBytes <= 0 || m.cfg.TargetFreeBytes < m.cfg.LowWatermarkBytes {
+		t.Fatalf("defaults not applied: %+v", m.cfg)
+	}
+}

@@ -1,0 +1,212 @@
+package classlib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := NewCorpus("J9-SR9", 16)
+	b := NewCorpus("J9-SR9", 16)
+	for _, g := range AllGroups() {
+		ca, cb := a.Group(g), b.Group(g)
+		if len(ca) != len(cb) {
+			t.Fatalf("group %s: %d vs %d classes", g, len(ca), len(cb))
+		}
+		for i := range ca {
+			if ca[i].Name != cb[i].Name || ca[i].Seed != cb[i].Seed || ca[i].ROMSize != cb[i].ROMSize {
+				t.Fatalf("group %s class %d differs between identical corpora", g, i)
+			}
+		}
+	}
+}
+
+func TestDifferentVersionsDiffer(t *testing.T) {
+	a := NewCorpus("v1", 16)
+	b := NewCorpus("v2", 16)
+	ca, cb := a.Group(GroupJDK)[0], b.Group(GroupJDK)[0]
+	if ca.Seed == cb.Seed {
+		t.Fatal("different corpus versions share content seeds")
+	}
+}
+
+func TestScaleDividesCounts(t *testing.T) {
+	full := NewCorpus("v", 1)
+	scaled := NewCorpus("v", 16)
+	nFull := len(full.Group(GroupWASCore))
+	nScaled := len(scaled.Group(GroupWASCore))
+	if nScaled < nFull/20 || nScaled > nFull/10 {
+		t.Fatalf("scaled count %d not ≈ %d/16", nScaled, nFull)
+	}
+}
+
+func TestTinyGroupsNonDegenerate(t *testing.T) {
+	c := NewCorpus("v", 1000)
+	for _, g := range AllGroups() {
+		if len(c.Group(g)) < 8 {
+			t.Fatalf("group %s degenerate at extreme scale", g)
+		}
+	}
+}
+
+func TestWASStackSizeNearCacheCapacity(t *testing.T) {
+	// At full scale the WAS middleware + JDK stack should come out near the
+	// 120 MB shared class cache of Table III (±25 %).
+	c := NewCorpus("v", 1)
+	total := c.StackROMBytes(GroupJDK, GroupOSGi, GroupWASCore, GroupDerby)
+	lo, hi := int64(90)<<20, int64(150)<<20
+	if total < lo || total > hi {
+		t.Fatalf("WAS stack ROM = %d MB, want ≈120 MB", total>>20)
+	}
+}
+
+func TestTuscanyStackNearSmallCache(t *testing.T) {
+	// Tuscany's cache in Table III is 25 MB; its stack (without the full
+	// JDK, which the bigbank demo barely touches) should be of that order.
+	c := NewCorpus("v", 1)
+	total := c.StackROMBytes(GroupTuscany, GroupBigBank)
+	lo, hi := int64(12)<<20, int64(35)<<20
+	if total < lo || total > hi {
+		t.Fatalf("Tuscany stack ROM = %d MB, want ≈18-25 MB", total>>20)
+	}
+}
+
+func TestMiddlewareDominatesAppClasses(t *testing.T) {
+	// ~90 % middleware, ~10 % app — the ratio behind the paper's claim that
+	// a base-image cache captures most of the benefit.
+	c := NewCorpus("v", 1)
+	mw := len(c.Stack(GroupOSGi, GroupWASCore, GroupDerby))
+	app := len(c.Stack(GroupDayTrader, GroupDayTraderEJB))
+	frac := float64(mw) / float64(mw+app)
+	if frac < 0.9 {
+		t.Fatalf("middleware fraction = %.2f, want ≥ 0.9", frac)
+	}
+}
+
+func TestClassSizesSmallerThanPage(t *testing.T) {
+	// Most classes must be well under a page: the paper's argument for why
+	// uncontrolled layout destroys sharing depends on it.
+	c := NewCorpus("v", 16)
+	small := 0
+	all := 0
+	for _, g := range AllGroups() {
+		for _, cl := range c.Group(g) {
+			all++
+			if cl.ROMSize < 4096 {
+				small++
+			}
+		}
+	}
+	if frac := float64(small) / float64(all); frac < 0.40 {
+		t.Fatalf("only %.0f%% of classes smaller than a page", frac*100)
+	}
+}
+
+func TestLookupAndStack(t *testing.T) {
+	c := NewCorpus("v", 16)
+	g := c.Group(GroupDerby)
+	cl, ok := c.Class(g[0].Name)
+	if !ok || cl != g[0] {
+		t.Fatal("Class lookup failed")
+	}
+	if _, ok := c.Class("no.such.Class"); ok {
+		t.Fatal("phantom class found")
+	}
+	stack := c.Stack(GroupJDK, GroupDerby)
+	if len(stack) != len(c.Group(GroupJDK))+len(c.Group(GroupDerby)) {
+		t.Fatal("Stack concatenation wrong")
+	}
+}
+
+func TestPropertySizesPositiveAndBounded(t *testing.T) {
+	c := NewCorpus("v", 8)
+	f := func(gi, ci uint8) bool {
+		gs := AllGroups()
+		g := gs[int(gi)%len(gs)]
+		list := c.Group(g)
+		cl := list[int(ci)%len(list)]
+		return cl.ROMSize >= 1024 && cl.ROMSize <= 36*1024 &&
+			cl.RAMSize >= 512 && cl.RAMSize <= 3*1024 &&
+			cl.Methods >= 4 && cl.Methods <= 40
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUniqueNames(t *testing.T) {
+	c := NewCorpus("v", 16)
+	seen := map[string]bool{}
+	for _, g := range AllGroups() {
+		for _, cl := range c.Group(g) {
+			if seen[cl.Name] {
+				t.Fatalf("duplicate class name %s", cl.Name)
+			}
+			seen[cl.Name] = true
+		}
+	}
+}
+
+// Property: ShuffleWindows is a permutation that never moves a class out of
+// its window and is deterministic in the seed.
+func TestPropertyShuffleWindows(t *testing.T) {
+	c := NewCorpus("v", 16)
+	in := c.Stack(GroupJDK)
+	f := func(seedRaw uint64, windowRaw uint8) bool {
+		window := int(windowRaw%63) + 2
+		seed := mem.Seed(seedRaw)
+		out := ShuffleWindows(in, seed, window)
+		if len(out) != len(in) {
+			return false
+		}
+		// Deterministic.
+		out2 := ShuffleWindows(in, seed, window)
+		for i := range out {
+			if out[i] != out2[i] {
+				return false
+			}
+		}
+		// Window-local permutation: the multiset within each window is
+		// preserved.
+		for base := 0; base < len(in); base += window {
+			end := base + window
+			if end > len(in) {
+				end = len(in)
+			}
+			seen := map[*Class]int{}
+			for i := base; i < end; i++ {
+				seen[in[i]]++
+				seen[out[i]]--
+			}
+			for _, n := range seen {
+				if n != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HotMethods is deterministic and bounded by the method count.
+func TestPropertyHotMethodsBounded(t *testing.T) {
+	c := NewCorpus("v", 16)
+	classes := c.Stack(GroupWASCore)
+	f := func(permilleRaw uint16, idx uint16) bool {
+		permille := int(permilleRaw % 1001)
+		cl := classes[int(idx)%len(classes)]
+		n := HotMethods(cl, permille)
+		if n != HotMethods(cl, permille) {
+			return false
+		}
+		return n >= 0 && n <= cl.Methods
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/jvm"
+)
+
+// Claim is one falsifiable statement from the paper that the simulation
+// must reproduce. The self-check (cmd/tpsim check) evaluates every claim on
+// fresh quick runs and reports pass/fail — a downstream user's one-command
+// verification that the reproduction behaves on their machine.
+type Claim struct {
+	ID        string
+	Statement string
+	// Check runs the experiment(s) and returns a measured summary plus
+	// whether the claim held.
+	Check func(o Options) (string, bool)
+}
+
+// Claims returns the full claim suite in paper order.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID:        "java-dominates",
+			Statement: "Java processes are the largest memory consumers in each guest VM (§2.D)",
+			Check: func(o Options) (string, bool) {
+				memF, _ := Fig2(o)
+				for _, v := range memF.VMs {
+					if v.JavaMB < v.KernelMB || v.JavaMB < v.OtherMB {
+						return fmt.Sprintf("VM %s: java %.0f MB not dominant", v.Name, v.JavaMB), false
+					}
+				}
+				return fmt.Sprintf("java %.0f-%.0f MB per guest", memF.VMs[0].JavaMB, memF.VMs[len(memF.VMs)-1].JavaMB), true
+			},
+		},
+		{
+			ID:        "kernel-half-shared",
+			Statement: "About half the guest kernel area is shared across VMs (§2.D)",
+			Check: func(o Options) (string, bool) {
+				memF, _ := Fig2(o)
+				owner, other := memF.VMs[0].KernelMB, memF.VMs[1].KernelMB
+				frac := (owner - other) / owner
+				return fmt.Sprintf("kernel %.0f MB owner vs %.0f MB non-primary (%.0f%% shared)", owner, other, frac*100),
+					frac > 0.3 && frac < 0.8
+			},
+		},
+		{
+			ID:        "baseline-classmeta-unshared",
+			Statement: "Without preloading, class metadata is essentially unshared (§3.A)",
+			Check: func(o Options) (string, bool) {
+				_, javaF := Fig2(o)
+				worst := 0.0
+				for _, b := range javaF.Bars {
+					cm := b.Cat(jvm.CatClassMeta)
+					if f := cm.SharedMB / cm.MappedMB; f > worst {
+						worst = f
+					}
+				}
+				return fmt.Sprintf("worst-case %.1f%% shared", worst*100), worst < 0.15
+			},
+		},
+		{
+			ID:        "baseline-heap-unshared",
+			Statement: "The Java heap shares almost nothing (paper: 0.7%, zero pages only) (§3.A)",
+			Check: func(o Options) (string, bool) {
+				_, javaF := Fig2(o)
+				worst := 0.0
+				for _, b := range javaF.Bars {
+					hp := b.Cat(jvm.CatHeap)
+					if f := hp.SharedMB / hp.MappedMB; f > worst {
+						worst = f
+					}
+				}
+				return fmt.Sprintf("worst-case %.1f%% shared", worst*100), worst < 0.1
+			},
+		},
+		{
+			ID:        "code-area-shared",
+			Statement: "The code area is the one JVM area TPS shares without help (§3.B)",
+			Check: func(o Options) (string, bool) {
+				_, javaF := Fig2(o)
+				n := 0
+				for _, b := range javaF.Bars {
+					c := b.Cat(jvm.CatCode)
+					if c.SharedMB > 0.5*c.MappedMB {
+						n++
+					}
+				}
+				return fmt.Sprintf("%d of %d JVMs share most of their code area", n, len(javaF.Bars)),
+					n == len(javaF.Bars)-1 // the owner pays
+			},
+		},
+		{
+			ID:        "preload-classmeta-shared",
+			Statement: "Preloading via the copied cache eliminates most class metadata in non-primary JVMs (paper: 89.6%) (§5.A)",
+			Check: func(o Options) (string, bool) {
+				_, javaF := Fig4(o)
+				high, total := 0, 0
+				var best float64
+				for _, b := range javaF.Bars {
+					cm := b.Cat(jvm.CatClassMeta)
+					f := cm.SharedMB / cm.MappedMB
+					total++
+					if f > 0.7 {
+						high++
+					}
+					if f > best {
+						best = f
+					}
+				}
+				return fmt.Sprintf("%d of %d JVMs above 70%% (best %.1f%%)", high, total, best*100),
+					high == total-1
+			},
+		},
+		{
+			ID:        "preload-reduces-total",
+			Statement: "Preloading reduces the cluster's total physical memory (paper: 3648→3314 MB) (§5.A)",
+			Check: func(o Options) (string, bool) {
+				m2, _ := Fig2(o)
+				m4, _ := Fig4(o)
+				return fmt.Sprintf("%.0f → %.0f MB (Δ %.0f)", m2.TotalMB, m4.TotalMB, m4.TotalMB-m2.TotalMB),
+					m4.TotalMB < m2.TotalMB-150
+			},
+		},
+		{
+			ID:        "powervm-transfer",
+			Statement: "The technique transfers to a system-VM hypervisor (PowerVM) (§5.B)",
+			Check: func(o Options) (string, bool) {
+				f := Fig6(o)
+				return fmt.Sprintf("savings %.0f → %.0f MB with preloading", f.NoPreload.SavingMB(), f.Preload.SavingMB()),
+					f.Preload.SavingMB() > f.NoPreload.SavingMB()+50
+			},
+		},
+		{
+			ID:        "extra-vm",
+			Statement: "Preloading lets one extra DayTrader guest run with acceptable performance (§5.C)",
+			Check: func(o Options) (string, bool) {
+				o.Quick = true
+				fig := Fig7(o)
+				var at8 SweepPoint
+				found := false
+				for _, p := range fig.Points {
+					if p.NumVMs == 8 {
+						at8, found = p, true
+					}
+				}
+				if !found {
+					return "no 8-VM point", false
+				}
+				return fmt.Sprintf("8 VMs: default %.1f vs ours %.1f req/s", at8.Default.Mean, at8.Preloaded.Mean),
+					at8.Preloaded.Mean > 3*at8.Default.Mean
+			},
+		},
+	}
+}
+
+// RunClaims evaluates every claim and renders a report; ok is true only if
+// all claims held.
+func RunClaims(o Options) (string, bool) {
+	var b strings.Builder
+	allOK := true
+	for _, c := range Claims() {
+		detail, ok := c.Check(o)
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+			allOK = false
+		}
+		fmt.Fprintf(&b, "[%s] %-28s %s\n%*s measured: %s\n", status, c.ID, c.Statement, 6, "", detail)
+	}
+	return b.String(), allOK
+}

@@ -1,0 +1,363 @@
+// Package core orchestrates the paper's experiments: it assembles a KVM-like
+// host with guest VMs built from a common base image, deploys the Table III
+// workloads, runs the KSM scanner with the paper's §2.C tuning (10 000
+// pages per 100 ms while warming up, 1 000 afterwards), drives steady-state
+// load, and measures — reproducing every figure and table of the evaluation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cds"
+	"repro/internal/classlib"
+	"repro/internal/guestos"
+	"repro/internal/hypervisor"
+	"repro/internal/jvm"
+	"repro/internal/ksm"
+	"repro/internal/mem"
+	"repro/internal/memanalysis"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DefaultScale is the memory scale of the experiments: guest and host sizes
+// divide by it, class counts divide by it, and all reported numbers are
+// multiplied back into paper units. See DESIGN.md ("Scale factor").
+const DefaultScale = 16
+
+// Intel-platform constants from Tables I and II.
+const (
+	// HostRAMBytes is the BladeCenter LS21's 6 GB.
+	HostRAMBytes = int64(6) << 30
+	// HostKernelReserveBytes approximates everything on the host that is
+	// not guest memory: the host kernel (a *debug* build in Table I, which
+	// is memory-hungry), QEMU/KVM per-process overhead beyond the modelled
+	// device state, page tables, and KSM metadata. Calibrated so that the
+	// Fig. 7 cliff falls between 7 and 8 DayTrader guests, as measured.
+	HostKernelReserveBytes = int64(1280) << 20
+	// GuestKernelVersion labels the RHEL 5.5 guest kernel build.
+	GuestKernelVersion = "2.6.18-194.3.1.el5debug"
+)
+
+// GuestKernelSizing is the unscaled guest kernel memory (calibrated so the
+// Fig. 2 guest-kernel bars land near the paper's 219 MB with ≈50 % shared).
+type GuestKernelSizing struct {
+	TextBytes int64
+	DataBytes int64
+	SlabBytes int64
+}
+
+// DefaultGuestKernel returns the calibrated guest kernel sizing.
+func DefaultGuestKernel() GuestKernelSizing {
+	return GuestKernelSizing{
+		TextBytes: 16 << 20,
+		DataBytes: 30 << 20,
+		SlabBytes: 50 << 20,
+	}
+}
+
+// ClusterConfig describes one KVM experiment run.
+type ClusterConfig struct {
+	// Scale divides all byte quantities and class counts (0 = DefaultScale).
+	Scale int
+	// HostRAMBytes is unscaled host memory (0 = the Table I 6 GB).
+	HostRAMBytes int64
+	// Specs lists the workload per VM; a single entry is replicated across
+	// NumVMs guests.
+	Specs  []workload.Spec
+	NumVMs int
+	// JVMsPerGuest runs several WAS processes inside each guest (default 1).
+	// All JVMs in a guest attach the same local cache file, so their
+	// ROMClass pages are shared *within* the guest through the page cache —
+	// the original purpose of the class-sharing feature (§4.B) — while KSM
+	// additionally shares them *across* guests.
+	JVMsPerGuest int
+	// SharedClasses enables the paper's §4 technique on every guest.
+	SharedClasses bool
+	// PerVMNIOSalt de-identifies wire traffic per VM (real-world traffic
+	// instead of identical benchmark drivers).
+	PerVMNIOSalt bool
+	// DisableKSM leaves the scanner off: the memory state stays unmerged
+	// (used by the related-work baselines to analyze the raw state).
+	DisableKSM bool
+	// SharedAOT additionally populates and uses the cache's AOT section
+	// (extension; implies SharedClasses behaviour for code).
+	SharedAOT bool
+	// PerVMCacheLayout is the §5 ablation of the paper's key insight: each
+	// guest populates its OWN cache in its own load order instead of
+	// receiving one copied file. The caches hold identical classes with
+	// different layouts, so cross-VM page identity — and the class-metadata
+	// sharing — collapses.
+	PerVMCacheLayout bool
+	// BaseSeed perturbs every per-VM and per-process seed; experiments with
+	// error bars run several base seeds.
+	BaseSeed mem.Seed
+	// GuestKernel overrides the kernel sizing (zero value = default).
+	GuestKernel GuestKernelSizing
+
+	// WarmupPasses is the number of full KSM passes at the fast scan rate
+	// (the paper's first ≈3 minutes at 10 000 pages per wake-up).
+	WarmupPasses int
+	// SteadyRounds is the number of steady-state rounds; each round runs
+	// IterationsPerRound requests on every instance and advances the clock
+	// by RoundDuration while KSM scans at 1 000 pages per wake-up.
+	SteadyRounds       int
+	IterationsPerRound int
+	// RoundDuration is the virtual time per steady round (0 = 1 s).
+	RoundDuration simclock.Time
+	// EnableTrace records a timeline of experiment events (Cluster.Trace).
+	EnableTrace bool
+}
+
+// withDefaults fills zero fields.
+func (cfg ClusterConfig) withDefaults() ClusterConfig {
+	if cfg.Scale == 0 {
+		cfg.Scale = DefaultScale
+	}
+	if cfg.HostRAMBytes == 0 {
+		cfg.HostRAMBytes = HostRAMBytes
+	}
+	if cfg.NumVMs == 0 {
+		cfg.NumVMs = len(cfg.Specs)
+	}
+	if cfg.JVMsPerGuest == 0 {
+		cfg.JVMsPerGuest = 1
+	}
+	if cfg.GuestKernel == (GuestKernelSizing{}) {
+		cfg.GuestKernel = DefaultGuestKernel()
+	}
+	if cfg.WarmupPasses == 0 {
+		cfg.WarmupPasses = 4
+	}
+	if cfg.SteadyRounds == 0 {
+		cfg.SteadyRounds = 60
+	}
+	if cfg.IterationsPerRound == 0 {
+		cfg.IterationsPerRound = 6
+	}
+	if cfg.RoundDuration == 0 {
+		cfg.RoundDuration = simclock.Second
+	}
+	return cfg
+}
+
+// CachePath is where the pre-populated shared class cache file lives in
+// every guest image built with the technique enabled.
+const CachePath = "/opt/middleware/javasharedresources/classCache"
+
+// Cluster is a running experiment.
+type Cluster struct {
+	Cfg     ClusterConfig
+	Clock   *simclock.Clock
+	Host    *hypervisor.Host
+	Corpus  *classlib.Corpus
+	Kernels []*guestos.Kernel
+	Workers []*workload.Instance
+	Scanner *ksm.KSM
+	// Trace is the experiment timeline (nil unless EnableTrace).
+	Trace *trace.Log
+
+	images map[string]*cds.Image
+}
+
+// BuildCluster assembles the host, guests and workloads but does not run
+// the scanner or steady state yet.
+func BuildCluster(cfg ClusterConfig) *Cluster {
+	cfg = cfg.withDefaults()
+	if len(cfg.Specs) == 0 {
+		panic("core: no workload specs")
+	}
+	clock := simclock.New()
+	host := hypervisor.NewHost(hypervisor.Config{
+		Name:               "BladeCenter-LS21",
+		RAMBytes:           cfg.HostRAMBytes / int64(cfg.Scale),
+		KernelReserveBytes: HostKernelReserveBytes / int64(cfg.Scale),
+	}, clock)
+	c := &Cluster{
+		Cfg:    cfg,
+		Clock:  clock,
+		Host:   host,
+		Corpus: classlib.NewCorpus(jvm.RuntimeVersion, cfg.Scale),
+		images: make(map[string]*cds.Image),
+	}
+	if cfg.EnableTrace {
+		c.Trace = trace.New(clock, 0)
+	}
+	// The scanner runs from the start at the paper's warm-up rate (10 000
+	// pages per 100 ms wake-up): guests deploy while KSM merges, exactly as
+	// in §2.C where KSM is enabled during WAS startup.
+	kcfg := ksm.DefaultConfig()
+	kcfg.PagesToScan = 10000
+	c.Scanner = ksm.New(host, kcfg)
+	if !cfg.DisableKSM {
+		c.Scanner.Start()
+	}
+	for i := 0; i < cfg.NumVMs; i++ {
+		spec := cfg.Specs[i%len(cfg.Specs)]
+		c.addGuest(i, spec)
+		c.Scanner.Register(c.Host.VMs()[i])
+		c.Trace.Emit(trace.KindDeploy, fmt.Sprintf("VM %d", i+1),
+			"deployed %s (shared classes: %v); host free %d MB",
+			spec.Name, cfg.SharedClasses, host.FreeBytes()>>20)
+		// Let the scanner absorb this guest's startup before the next one
+		// boots (sequential provisioning).
+		clock.RunFor(simclock.Time(c.totalGuestPages()/10000+1) * 100 * simclock.Millisecond)
+	}
+	return c
+}
+
+// addGuest boots one guest from the base image and deploys its workload.
+func (c *Cluster) addGuest(i int, spec workload.Spec) {
+	cfg := c.Cfg
+	vmSeed := mem.Combine(cfg.BaseSeed, mem.HashString("vm"), mem.Seed(i+1))
+	vmp := c.Host.NewVM(hypervisor.VMConfig{
+		Name:          fmt.Sprintf("VM %d", i+1),
+		GuestMemBytes: spec.GuestMemBytes / int64(cfg.Scale),
+		OverheadBytes: (24 << 20) / int64(cfg.Scale),
+		Seed:          vmSeed,
+	})
+	k := guestos.Boot(vmp, guestos.KernelConfig{
+		Version:   GuestKernelVersion,
+		TextBytes: cfg.GuestKernel.TextBytes / int64(cfg.Scale),
+		DataBytes: cfg.GuestKernel.DataBytes / int64(cfg.Scale),
+		SlabBytes: cfg.GuestKernel.SlabBytes / int64(cfg.Scale),
+	})
+	c.spawnDaemons(k)
+
+	dcfg := workload.DeployConfig{Scale: cfg.Scale, DeferWarmup: true}
+	if cfg.SharedClasses {
+		img := c.cacheImage(spec)
+		if cfg.PerVMCacheLayout {
+			// Ablation: this guest ran its own cold population instead of
+			// receiving the base image's file.
+			order := classlib.ShuffleWindows(c.Corpus.Stack(spec.CacheAwareGroups...), vmSeed, 48)
+			img = cds.Build(spec.CacheName, c.Corpus.Version, spec.CacheBytes/int64(cfg.Scale), order)
+		}
+		k.FS().Install(&guestos.File{Path: CachePath, Data: img.FileBytes(c.Corpus)})
+		dcfg.SharedClasses = true
+		dcfg.SharedAOT = cfg.SharedAOT
+		dcfg.CacheImage = img
+		dcfg.CachePath = CachePath
+	}
+	if cfg.PerVMNIOSalt {
+		dcfg.PerVMNIOSalt = mem.Combine(vmSeed, mem.HashString("nio-salt"))
+	}
+	c.Kernels = append(c.Kernels, k)
+	for n := 0; n < cfg.JVMsPerGuest; n++ {
+		c.Workers = append(c.Workers, workload.Deploy(k, c.Corpus, spec, dcfg))
+	}
+}
+
+// cacheImage returns the cold-run cache for a workload, built once per
+// cache name and reused for every guest — the "copy the file to all of the
+// VMs" step of §4.B.
+func (c *Cluster) cacheImage(spec workload.Spec) *cds.Image {
+	if img, ok := c.images[spec.CacheName]; ok {
+		return img
+	}
+	var img *cds.Image
+	if c.Cfg.SharedAOT {
+		img = workload.BuildCacheAOT(c.Corpus, spec, c.Cfg.Scale, 20)
+	} else {
+		img = workload.BuildCache(c.Corpus, spec, c.Cfg.Scale)
+	}
+	c.images[spec.CacheName] = img
+	return img
+}
+
+// spawnDaemons creates the guest's small native processes ("other user
+// processes" in Fig. 2): identical binaries from the base image plus small
+// per-process anonymous state.
+func (c *Cluster) spawnDaemons(k *guestos.Kernel) {
+	ps := int64(k.PageSize())
+	for _, name := range []string{"init", "sshd", "syslogd"} {
+		binPath := "/sbin/" + name
+		f, ok := k.FS().Lookup(binPath)
+		if !ok {
+			size := (3 << 20) / int64(c.Cfg.Scale)
+			if size < ps {
+				size = ps
+			}
+			f = k.FS().InstallGenerated(binPath, "rhel5.5", size)
+		}
+		p := k.Spawn(name, false)
+		v := p.MapFile(f, 0, 0, "daemon-code", binPath)
+		p.TouchAll(v, false)
+		anonPages := int(((2 << 20) / int64(c.Cfg.Scale)) / ps)
+		if anonPages < 1 {
+			anonPages = 1
+		}
+		av := p.MapAnon(anonPages, "daemon-anon", name+"-heap")
+		for vpn := av.Start; vpn < av.End; vpn++ {
+			p.FillPage(vpn, mem.Combine(p.Seed(), mem.Seed(vpn)))
+		}
+	}
+}
+
+// totalGuestPages sums every guest's memory for pass sizing.
+func (c *Cluster) totalGuestPages() int {
+	total := 0
+	for _, vm := range c.Host.VMs() {
+		total += vm.GuestPages()
+	}
+	return total
+}
+
+// RunWarmup runs the paper's warm-up phase: scenario initialization traffic
+// on every guest, interleaved with KSM at the fast 10 000 pages/100 ms
+// setting, until the configured number of full passes completes; then the
+// scanner drops to the steady 1 000 pages per wake-up.
+func (c *Cluster) RunWarmup() {
+	c.Trace.Emit(trace.KindPhase, "cluster", "warm-up begins (scanner at 10000 pages/100ms)")
+	wakeupsPerPass := c.totalGuestPages()/10000 + 1
+	slices := c.Cfg.WarmupPasses * 2
+	for s := 0; s < slices; s++ {
+		for _, w := range c.Workers {
+			n := w.WarmupTarget() / slices
+			if n < 1 {
+				n = 1
+			}
+			w.RunSteadyState(n)
+		}
+		c.Clock.RunFor(simclock.Time(wakeupsPerPass*c.Cfg.WarmupPasses/slices+1) * 100 * simclock.Millisecond)
+	}
+	c.Scanner.SetPagesToScan(1000)
+	st := c.Scanner.Stats()
+	c.Trace.Emit(trace.KindScanner, "ksm",
+		"warm-up done: %d full scans, %d MB saved, CPU %.1f%%; dropping to 1000 pages/100ms",
+		st.FullScans, st.SavedBytes>>20, st.CPUPercent())
+}
+
+// RunSteady drives the measurement phase: each round every instance serves
+// IterationsPerRound requests and the clock advances by RoundDuration while
+// KSM scans at the steady 1 000 pages per wake-up.
+func (c *Cluster) RunSteady() {
+	c.Trace.Emit(trace.KindPhase, "cluster", "steady state: %d rounds × %d requests/VM",
+		c.Cfg.SteadyRounds, c.Cfg.IterationsPerRound)
+	for round := 0; round < c.Cfg.SteadyRounds; round++ {
+		for _, w := range c.Workers {
+			w.RunSteadyState(c.Cfg.IterationsPerRound)
+		}
+		c.Clock.RunFor(c.Cfg.RoundDuration)
+	}
+	st := c.Scanner.Stats()
+	c.Trace.Emit(trace.KindScanner, "ksm", "steady done: sharing %d pages -> %d mappings, %d MB saved",
+		st.PagesShared, st.PagesSharing, st.SavedBytes>>20)
+}
+
+// Run executes warm-up plus steady state (the standard measurement flow).
+func (c *Cluster) Run() {
+	c.RunWarmup()
+	c.RunSteady()
+}
+
+// Analyze freezes the current memory state through the §2 methodology.
+func (c *Cluster) Analyze() *memanalysis.Analysis {
+	return memanalysis.Analyze(c.Host, c.Kernels)
+}
+
+// ScaleBytes converts simulated bytes back into paper units.
+func (c *Cluster) ScaleBytes(b int64) int64 {
+	return b * int64(c.Cfg.withDefaults().Scale)
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"repro/internal/jvm"
+	"repro/internal/mem"
+	"repro/internal/memanalysis"
+	"repro/internal/workload"
+)
+
+// SeedFromUint64 converts a raw integer into an experiment seed.
+func SeedFromUint64(v uint64) mem.Seed { return mem.Seed(v) }
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale overrides the memory scale (0 = DefaultScale).
+	Scale int
+	// Seed perturbs all randomization (error-bar repetitions change it).
+	Seed mem.Seed
+	// Quick shrinks steady-state length and sweep points for fast benches.
+	Quick bool
+}
+
+func (o Options) scale() int {
+	if o.Scale == 0 {
+		return DefaultScale
+	}
+	return o.Scale
+}
+
+// MemFigure is a Fig. 2 / Fig. 4 result: per-VM physical memory breakdown
+// plus TPS savings, in paper-scale MB.
+type MemFigure struct {
+	ID    string
+	Title string
+	VMs   []VMRow
+	// TotalMB is the owner-oriented total over all guests (the paper quotes
+	// 3 648 MB baseline → 3 314 MB with preloading).
+	TotalMB        float64
+	TotalSavingsMB float64
+}
+
+// VMRow is one guest VM's stacked bar.
+type VMRow struct {
+	Name       string
+	JavaMB     float64
+	OtherMB    float64
+	KernelMB   float64
+	OverheadMB float64
+	SavingsMB  float64
+}
+
+// Total reports the VM's physical usage in MB.
+func (r VMRow) Total() float64 { return r.JavaMB + r.OtherMB + r.KernelMB + r.OverheadMB }
+
+// JavaFigure is a Fig. 3 / Fig. 5 result: per-JVM Table IV category
+// breakdown, in paper-scale MB.
+type JavaFigure struct {
+	ID    string
+	Title string
+	Bars  []JavaBar
+}
+
+// JavaBar is one JVM's stacked bar.
+type JavaBar struct {
+	Label string
+	PID   int
+	Cats  []CatRow
+}
+
+// CatRow is one Table IV category of one JVM.
+type CatRow struct {
+	Name     string
+	MappedMB float64
+	SharedMB float64 // the graded "Shared with TPS" portion
+}
+
+// Cat finds a category row by name (zero row if absent).
+func (b JavaBar) Cat(name string) CatRow {
+	for _, c := range b.Cats {
+		if c.Name == name {
+			return c
+		}
+	}
+	return CatRow{Name: name}
+}
+
+// TotalMapped sums the bar's mapped MB.
+func (b JavaBar) TotalMapped() float64 {
+	var t float64
+	for _, c := range b.Cats {
+		t += c.MappedMB
+	}
+	return t
+}
+
+// TotalShared sums the bar's TPS-shared MB.
+func (b JavaBar) TotalShared() float64 {
+	var t float64
+	for _, c := range b.Cats {
+		t += c.SharedMB
+	}
+	return t
+}
+
+// mb converts simulated bytes to paper-scale MB.
+func mb(bytes int64, scale int) float64 {
+	return float64(bytes) * float64(scale) / (1 << 20)
+}
+
+// memFigureFrom converts an analysis into a MemFigure.
+func memFigureFrom(id, title string, a *memanalysis.Analysis, scale int) MemFigure {
+	fig := MemFigure{ID: id, Title: title}
+	for _, b := range a.VMBreakdowns() {
+		fig.VMs = append(fig.VMs, VMRow{
+			Name:       b.VMName,
+			JavaMB:     mb(b.JavaBytes, scale),
+			OtherMB:    mb(b.OtherProcBytes, scale),
+			KernelMB:   mb(b.KernelBytes, scale),
+			OverheadMB: mb(b.VMOverheadBytes, scale),
+			SavingsMB:  mb(b.SavingsBytes, scale),
+		})
+		fig.TotalMB += mb(b.Total(), scale)
+		fig.TotalSavingsMB += mb(b.SavingsBytes, scale)
+	}
+	return fig
+}
+
+// javaFigureFrom converts an analysis into a JavaFigure, one bar per Java
+// process, ordered by VM. Labels follow the paper ("JVM1".."JVM4" for the
+// DayTrader figures; workload names for Fig. 3(b)/5(b)).
+func javaFigureFrom(id, title string, a *memanalysis.Analysis, scale int, labels []string) JavaFigure {
+	fig := JavaFigure{ID: id, Title: title}
+	for i, jb := range a.JavaBreakdowns() {
+		label := jb.VMName
+		if i < len(labels) {
+			label = labels[i]
+		}
+		bar := JavaBar{Label: label, PID: jb.PID}
+		for _, cat := range jvm.Categories() {
+			cu := jb.ByCat[cat]
+			bar.Cats = append(bar.Cats, CatRow{
+				Name:     cat,
+				MappedMB: mb(cu.MappedBytes, scale),
+				SharedMB: mb(cu.SharedBytes, scale),
+			})
+		}
+		fig.Bars = append(fig.Bars, bar)
+	}
+	return fig
+}
+
+// dayTraderCluster builds the §2.C measurement scenario: four 1 GB guests
+// each running WAS + DayTrader on a 6 GB host.
+func dayTraderCluster(o Options, shared bool) *Cluster {
+	cfg := ClusterConfig{
+		Scale:         o.scale(),
+		Specs:         []workload.Spec{workload.DayTrader()},
+		NumVMs:        4,
+		SharedClasses: shared,
+		BaseSeed:      o.Seed,
+	}
+	if o.Quick {
+		cfg.SteadyRounds = 15
+	}
+	return BuildCluster(cfg)
+}
+
+// Fig2 runs the baseline (no preloading) DayTrader scenario and returns the
+// Fig. 2 VM breakdown together with the Fig. 3(a) Java breakdown from the
+// same run, exactly as in the paper.
+func Fig2(o Options) (MemFigure, JavaFigure) {
+	c := dayTraderCluster(o, false)
+	c.Run()
+	a := c.Analyze()
+	labels := []string{"JVM1", "JVM2", "JVM3", "JVM4"}
+	return memFigureFrom("fig2", "Physical memory usage and TPS savings (baseline)", a, c.Cfg.Scale),
+		javaFigureFrom("fig3a", "Java memory breakdown per WAS process (baseline)", a, c.Cfg.Scale, labels)
+}
+
+// Fig4 runs the same scenario with the shared class cache copied into every
+// guest and returns the Fig. 4 VM breakdown and Fig. 5(a) Java breakdown.
+func Fig4(o Options) (MemFigure, JavaFigure) {
+	c := dayTraderCluster(o, true)
+	c.Run()
+	a := c.Analyze()
+	labels := []string{"JVM1", "JVM2", "JVM3", "JVM4"}
+	return memFigureFrom("fig4", "Physical memory usage and TPS savings (classes preloaded)", a, c.Cfg.Scale),
+		javaFigureFrom("fig5a", "Java memory breakdown per WAS process (classes preloaded)", a, c.Cfg.Scale, labels)
+}
+
+// mixedCluster is the Fig. 3(b)/5(b) scenario: three guests running
+// DayTrader, SPECjEnterprise 2010 and TPC-W in the same WAS version.
+func mixedCluster(o Options, shared bool) *Cluster {
+	cfg := ClusterConfig{
+		Scale:         o.scale(),
+		Specs:         []workload.Spec{workload.DayTrader(), workload.SPECjEnterprise(), workload.TPCW()},
+		NumVMs:        3,
+		SharedClasses: shared,
+		BaseSeed:      o.Seed,
+	}
+	if o.Quick {
+		cfg.SteadyRounds = 15
+	}
+	return BuildCluster(cfg)
+}
+
+// Fig3b runs the mixed-workload baseline breakdown.
+func Fig3b(o Options) JavaFigure {
+	c := mixedCluster(o, false)
+	c.Run()
+	return javaFigureFrom("fig3b", "Java breakdown: DayTrader / SPECjEnterprise / TPC-W in WAS (baseline)",
+		c.Analyze(), c.Cfg.Scale, []string{"DayTrader", "SPECjEnterprise", "TPC-W"})
+}
+
+// Fig5b runs the mixed-workload breakdown with per-application shared
+// caches (§4.B: a separate cache name per Java program; here all three use
+// the WAS cache populated with their own stacks — the WAS classes dominate,
+// which is the paper's point).
+func Fig5b(o Options) JavaFigure {
+	c := mixedCluster(o, true)
+	c.Run()
+	return javaFigureFrom("fig5b", "Java breakdown: DayTrader / SPECjEnterprise / TPC-W in WAS (preloaded)",
+		c.Analyze(), c.Cfg.Scale, []string{"DayTrader", "SPECjEnterprise", "TPC-W"})
+}
+
+// tuscanyCluster is the Fig. 3(c)/5(c) scenario: three Tuscany bigbank
+// guests.
+func tuscanyCluster(o Options, shared bool) *Cluster {
+	cfg := ClusterConfig{
+		Scale:         o.scale(),
+		Specs:         []workload.Spec{workload.Tuscany()},
+		NumVMs:        3,
+		SharedClasses: shared,
+		BaseSeed:      o.Seed,
+	}
+	if o.Quick {
+		cfg.SteadyRounds = 15
+	}
+	return BuildCluster(cfg)
+}
+
+// Fig3c runs the Tuscany baseline breakdown.
+func Fig3c(o Options) JavaFigure {
+	c := tuscanyCluster(o, false)
+	c.Run()
+	return javaFigureFrom("fig3c", "Java breakdown: three Tuscany bigbank servers (baseline)",
+		c.Analyze(), c.Cfg.Scale, []string{"JVM1", "JVM2", "JVM3"})
+}
+
+// Fig5c runs the Tuscany breakdown with the 25 MB shared cache.
+func Fig5c(o Options) JavaFigure {
+	c := tuscanyCluster(o, true)
+	c.Run()
+	return javaFigureFrom("fig5c", "Java breakdown: three Tuscany bigbank servers (preloaded)",
+		c.Analyze(), c.Cfg.Scale, []string{"JVM1", "JVM2", "JVM3"})
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/classlib"
+	"repro/internal/guestos"
+	"repro/internal/jvm"
+	"repro/internal/mem"
+	"repro/internal/powervm"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// POWER-platform constants from Tables I and II.
+const (
+	// PowerRAMBytes is the BladeCenter PS701's 128 GB.
+	PowerRAMBytes = int64(128) << 30
+	// AIXKernelVersion labels the AIX 6.1 TL6 guest build.
+	AIXKernelVersion = "AIX-6.1-TL6"
+)
+
+// PowerPair is one pair of Fig. 6 bars: total physical usage just after
+// starting WAS (before the hypervisor finishes sharing) and after.
+type PowerPair struct {
+	BeforeMB float64
+	AfterMB  float64
+}
+
+// SavingMB is the memory recovered by page sharing.
+func (p PowerPair) SavingMB() float64 { return p.BeforeMB - p.AfterMB }
+
+// PowerFigure is the Fig. 6 result.
+type PowerFigure struct {
+	ID        string
+	Title     string
+	NoPreload PowerPair
+	Preload   PowerPair
+}
+
+// DeltaMB is the additional saving from preloading classes (the paper
+// measures 181.0 MB).
+func (f PowerFigure) DeltaMB() float64 {
+	return f.Preload.SavingMB() - f.NoPreload.SavingMB()
+}
+
+// Fig6 runs the PowerVM experiment: three 3.5 GB AIX partitions each
+// running WAS + DayTrader (25 client threads, 1 GB heap), measured before
+// and after the hypervisor's page sharing, without and with the preloaded
+// shared class cache.
+func Fig6(o Options) PowerFigure {
+	fig := PowerFigure{ID: "fig6", Title: "PowerVM: physical memory of three guest VMs, before/after sharing"}
+	fig.NoPreload = powerRun(o, false)
+	fig.Preload = powerRun(o, true)
+	return fig
+}
+
+// powerRun executes one Fig. 6 configuration and returns its bar pair.
+func powerRun(o Options, preload bool) PowerPair {
+	scale := o.scale()
+	clock := simclock.New()
+	machine := powervm.New(powervm.Config{
+		Name:     "BladeCenter-PS701",
+		RAMBytes: PowerRAMBytes / int64(scale),
+	}, clock)
+	corpus := classlib.NewCorpus(jvm.RuntimeVersion, scale)
+	spec := workload.DayTraderPOWER()
+
+	var img = workload.BuildCache(corpus, spec, scale)
+	var instances []*workload.Instance
+	for i := 0; i < 3; i++ {
+		lp := machine.NewLPAR(powervm.LPARConfig{
+			Name:          fmt.Sprintf("LPAR %d", i+1),
+			GuestMemBytes: spec.GuestMemBytes / int64(scale),
+			Seed:          mem.Combine(o.Seed, mem.HashString("lpar"), mem.Seed(i+1)),
+		})
+		k := guestos.Boot(lp, guestos.KernelConfig{
+			Version:   AIXKernelVersion,
+			TextBytes: (24 << 20) / int64(scale),
+			DataBytes: (48 << 20) / int64(scale),
+			SlabBytes: (72 << 20) / int64(scale),
+		})
+		dcfg := workload.DeployConfig{Scale: scale}
+		if preload {
+			k.FS().Install(&guestos.File{Path: CachePath, Data: img.FileBytes(corpus)})
+			dcfg.SharedClasses = true
+			dcfg.CacheImage = img
+			dcfg.CachePath = CachePath
+		}
+		instances = append(instances, workload.Deploy(k, corpus, spec, dcfg))
+	}
+
+	before := machine.PhysicalInUse()
+	// The hypervisor scanner converges while the system serves load: the
+	// volatility gate needs consecutive quiet observations of each page.
+	rounds := 6
+	if o.Quick {
+		rounds = 4
+	}
+	for r := 0; r < rounds; r++ {
+		for _, in := range instances {
+			in.RunSteadyState(4)
+		}
+		machine.SharePass()
+	}
+	after := machine.PhysicalInUse()
+
+	toMB := func(b int64) float64 { return float64(b) * float64(scale) / (1 << 20) }
+	return PowerPair{BeforeMB: toMB(before), AfterMB: toMB(after)}
+}

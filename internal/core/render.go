@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// RenderMemFigure prints a Fig. 2 / Fig. 4 result: one stacked bar per VM
+// plus the TPS savings column, in paper-scale MB.
+func RenderMemFigure(f MemFigure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", strings.ToUpper(f.ID), f.Title)
+	var max float64
+	for _, v := range f.VMs {
+		if t := v.Total(); t > max {
+			max = t
+		}
+	}
+	for _, v := range f.VMs {
+		b.WriteString(report.StackedBar(v.Name, []report.Segment{
+			{Label: "java", Value: v.JavaMB},
+			{Label: "other", Value: v.OtherMB},
+			{Label: "kernel", Value: v.KernelMB},
+			{Label: "vm", Value: v.OverheadMB},
+		}, max, 48))
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "%-10s  saving by TPS in guest: %.0f MB\n", "", v.SavingsMB)
+	}
+	fmt.Fprintf(&b, "\nTotal physical memory used by guests: %.0f MB (TPS savings %.0f MB)\n",
+		f.TotalMB, f.TotalSavingsMB)
+	return b.String()
+}
+
+// RenderJavaFigure prints a Fig. 3 / Fig. 5 result: one stacked bar per JVM
+// with the Table IV categories and the TPS-shared portion of each.
+func RenderJavaFigure(f JavaFigure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", strings.ToUpper(f.ID), f.Title)
+	t := &report.Table{Headers: []string{"JVM", "Category", "Mapped MB", "Shared w/ TPS MB", "Shared %"}}
+	for _, bar := range f.Bars {
+		first := true
+		for _, c := range bar.Cats {
+			label := ""
+			if first {
+				label = fmt.Sprintf("%s (pid %d)", bar.Label, bar.PID)
+				first = false
+			}
+			pct := 0.0
+			if c.MappedMB > 0 {
+				pct = 100 * c.SharedMB / c.MappedMB
+			}
+			t.AddRow(label, c.Name, fmt.Sprintf("%.1f", c.MappedMB), fmt.Sprintf("%.1f", c.SharedMB), fmt.Sprintf("%.1f", pct))
+		}
+		t.AddRow("", "TOTAL", fmt.Sprintf("%.1f", bar.TotalMapped()), fmt.Sprintf("%.1f", bar.TotalShared()), "")
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderSweepFigure prints a Fig. 7 / Fig. 8 result with min/mean/max bars.
+func RenderSweepFigure(f SweepFigure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", strings.ToUpper(f.ID), f.Title)
+	t := &report.Table{Headers: []string{
+		"Guest VMs",
+		"Default (" + f.Unit + ") min/mean/max", "",
+		"Our approach (" + f.Unit + ") min/mean/max", "",
+		"SLA",
+	}}
+	var max float64
+	for _, p := range f.Points {
+		if p.Default.Max > max {
+			max = p.Default.Max
+		}
+		if p.Preloaded.Max > max {
+			max = p.Preloaded.Max
+		}
+	}
+	for _, p := range f.Points {
+		sla := ""
+		if p.DefaultSLAViolated {
+			sla += "default:VIOLATED "
+		}
+		if p.PreloadedSLAViolated {
+			sla += "ours:VIOLATED"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", p.NumVMs),
+			fmt.Sprintf("%.1f/%.1f/%.1f", p.Default.Min, p.Default.Mean, p.Default.Max),
+			report.HBar(p.Default.Mean, max, 20),
+			fmt.Sprintf("%.1f/%.1f/%.1f", p.Preloaded.Min, p.Preloaded.Mean, p.Preloaded.Max),
+			report.HBar(p.Preloaded.Mean, max, 20),
+			sla,
+		)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderPowerFigure prints the Fig. 6 result.
+func RenderPowerFigure(f PowerFigure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", strings.ToUpper(f.ID), f.Title)
+	t := &report.Table{Headers: []string{"Configuration", "Just after starting WAS (MB)", "After page sharing (MB)", "Saving (MB)"}}
+	t.AddRow("Classes preloaded", fmt.Sprintf("%.1f", f.Preload.BeforeMB), fmt.Sprintf("%.1f", f.Preload.AfterMB), fmt.Sprintf("%.1f", f.Preload.SavingMB()))
+	t.AddRow("Classes not preloaded", fmt.Sprintf("%.1f", f.NoPreload.BeforeMB), fmt.Sprintf("%.1f", f.NoPreload.AfterMB), fmt.Sprintf("%.1f", f.NoPreload.SavingMB()))
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nIncreased sharing by preloading: %.1f MB (paper: 181.0 MB)\n", f.DeltaMB())
+	return b.String()
+}

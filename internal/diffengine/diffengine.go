@@ -1,0 +1,181 @@
+// Package diffengine implements an analysis-mode baseline after Gupta et
+// al.'s Difference Engine (OSDI '08), which the paper discusses as related
+// work: beyond whole-page sharing it exploits (a) sub-page sharing — storing
+// a similar page as a delta against a reference page — and (b) page
+// compression. Both recover memory that TPS cannot, at the cost of
+// reconstructing the full page on every access, whereas TPS-shared pages
+// are read directly (the paper's argument for why TPS suits read-only class
+// metadata).
+//
+// The engine here evaluates what those techniques would save on the live
+// memory state of a host, without mutating it: it is the comparator for the
+// ablation benchmarks, not a second sharing path.
+package diffengine
+
+import (
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+)
+
+// blockCount splits a page into this many blocks for similarity detection.
+const blockCount = 8
+
+// Config tunes the analysis.
+type Config struct {
+	// MinSharedBlocks is how many of a page's blocks must match a reference
+	// page for delta encoding to be worthwhile (Difference Engine requires
+	// the patch to be under a size threshold).
+	MinSharedBlocks int
+	// PatchOverheadBytes is the fixed cost of a patch header.
+	PatchOverheadBytes int
+	// CompressOverheadBytes is the fixed cost of a compressed page header.
+	CompressOverheadBytes int
+}
+
+// DefaultConfig mirrors Difference Engine's thresholds at page scale.
+func DefaultConfig() Config {
+	return Config{MinSharedBlocks: 5, PatchOverheadBytes: 64, CompressOverheadBytes: 48}
+}
+
+// Result summarizes the recoverable memory.
+type Result struct {
+	ScannedPages int
+	// IdenticalBytes is what whole-page sharing (TPS/KSM) recovers.
+	IdenticalBytes int64
+	IdenticalPages int
+	// SubPageBytes is the additional recovery from delta-encoding similar
+	// (but not identical) pages against references.
+	SubPageBytes int64
+	PatchedPages int
+	// CompressionBytes is the additional recovery from compressing the
+	// remaining unique pages.
+	CompressionBytes int64
+	CompressedPages  int
+	// AccessPenaltyPages counts pages that would need reconstruction before
+	// every read — the overhead class TPS avoids entirely.
+	AccessPenaltyPages int
+}
+
+// TotalBytes is the combined recovery.
+func (r Result) TotalBytes() int64 {
+	return r.IdenticalBytes + r.SubPageBytes + r.CompressionBytes
+}
+
+// Analyze scans every resident guest page of the host and reports what a
+// Difference-Engine-style policy would recover from the current state.
+func Analyze(host *hypervisor.Host, cfg Config) Result {
+	pm := host.Phys()
+	pageSize := int64(host.PageSize())
+
+	var res Result
+	seenFrame := map[mem.FrameID]bool{}
+	fullHash := map[uint64][]mem.FrameID{}
+	blockIndex := map[uint64][]mem.FrameID{} // block hash -> frames containing it
+
+	var frames []mem.FrameID
+	for _, vm := range host.VMs() {
+		for _, reg := range vm.MergeableRegions() {
+			for vpn := reg.Start; vpn < reg.End; vpn++ {
+				f, ok := vm.ResolveResident(vpn)
+				if !ok || seenFrame[f] {
+					continue
+				}
+				seenFrame[f] = true
+				frames = append(frames, f)
+			}
+		}
+	}
+
+	for _, f := range frames {
+		res.ScannedPages++
+		sum := pm.Checksum(f)
+		// Whole-page identity first (what TPS gets).
+		dup := false
+		for _, g := range fullHash[sum] {
+			if pm.Equal(f, g) {
+				res.IdenticalBytes += pageSize
+				res.IdenticalPages++
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		fullHash[sum] = append(fullHash[sum], f)
+
+		// Sub-page similarity: count blocks shared with the best reference.
+		blocks := blockHashes(pm.Bytes(f))
+		best, bestShared := mem.NilFrame, 0
+		tried := map[mem.FrameID]bool{}
+		for _, bh := range blocks {
+			for _, cand := range blockIndex[bh] {
+				if tried[cand] {
+					continue
+				}
+				tried[cand] = true
+				shared := sharedBlocks(blocks, blockHashes(pm.Bytes(cand)))
+				if shared > bestShared {
+					best, bestShared = cand, shared
+				}
+			}
+		}
+		if best != mem.NilFrame && bestShared >= cfg.MinSharedBlocks {
+			patch := (blockCount-bestShared)*int(pageSize)/blockCount + cfg.PatchOverheadBytes
+			if int64(patch) < pageSize {
+				res.SubPageBytes += pageSize - int64(patch)
+				res.PatchedPages++
+				res.AccessPenaltyPages++
+				continue
+			}
+		}
+		for _, bh := range blocks {
+			blockIndex[bh] = append(blockIndex[bh], f)
+		}
+
+		// Compression on what remains. Synthetic content is incompressible
+		// except for its zero runs, so this is a conservative floor.
+		if comp := compressedSize(pm.Bytes(f), cfg.CompressOverheadBytes); int64(comp) < pageSize {
+			saved := pageSize - int64(comp)
+			if saved > 0 {
+				res.CompressionBytes += saved
+				res.CompressedPages++
+				res.AccessPenaltyPages++
+			}
+		}
+	}
+	return res
+}
+
+// blockHashes hashes each block of a page.
+func blockHashes(page []byte) [blockCount]uint64 {
+	var out [blockCount]uint64
+	bs := len(page) / blockCount
+	for i := 0; i < blockCount; i++ {
+		out[i] = mem.ChecksumBytes(page[i*bs : (i+1)*bs])
+	}
+	return out
+}
+
+// sharedBlocks counts positionally matching block hashes.
+func sharedBlocks(a, b [blockCount]uint64) int {
+	n := 0
+	for i := range a {
+		if a[i] == b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// compressedSize models compression as zero-run elimination: non-zero bytes
+// survive, plus a header.
+func compressedSize(page []byte, overhead int) int {
+	nz := 0
+	for _, b := range page {
+		if b != 0 {
+			nz++
+		}
+	}
+	return nz + overhead
+}

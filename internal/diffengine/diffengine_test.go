@@ -1,0 +1,95 @@
+package diffengine
+
+import (
+	"testing"
+
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/simclock"
+)
+
+const pg = mem.DefaultPageSize
+
+func newHost(t *testing.T) (*hypervisor.Host, *hypervisor.VMProcess, *hypervisor.VMProcess) {
+	t.Helper()
+	h := hypervisor.NewHost(hypervisor.Config{Name: "t", RAMBytes: 512 * pg}, simclock.New())
+	vm1 := h.NewVM(hypervisor.VMConfig{Name: "a", GuestMemBytes: 64 * pg, Seed: 1})
+	vm2 := h.NewVM(hypervisor.VMConfig{Name: "b", GuestMemBytes: 64 * pg, Seed: 2})
+	return h, vm1, vm2
+}
+
+func TestIdenticalPagesCounted(t *testing.T) {
+	h, vm1, vm2 := newHost(t)
+	for i := uint64(0); i < 4; i++ {
+		vm1.FillGuestPage(i, mem.Seed(100+i))
+		vm2.FillGuestPage(i, mem.Seed(100+i))
+	}
+	r := Analyze(h, DefaultConfig())
+	if r.IdenticalPages != 4 {
+		t.Fatalf("identical pages = %d, want 4", r.IdenticalPages)
+	}
+	if r.IdenticalBytes != 4*pg {
+		t.Fatalf("identical bytes = %d", r.IdenticalBytes)
+	}
+}
+
+func TestSubPageSharingOnPartialPages(t *testing.T) {
+	h, vm1, vm2 := newHost(t)
+	// Two pages sharing 7 of 8 blocks: same content except the last block.
+	base := mem.FillBytes(pg, 7)
+	vm1.WriteGuestPage(0, 0, base)
+	mod := append([]byte(nil), base...)
+	mem.Fill(mod[pg-pg/8:], 99)
+	vm2.WriteGuestPage(0, 0, mod)
+	r := Analyze(h, DefaultConfig())
+	if r.PatchedPages != 1 {
+		t.Fatalf("patched pages = %d, want 1 (result %+v)", r.PatchedPages, r)
+	}
+	if r.SubPageBytes <= 0 || r.SubPageBytes >= pg {
+		t.Fatalf("sub-page savings = %d", r.SubPageBytes)
+	}
+	if r.AccessPenaltyPages == 0 {
+		t.Fatal("patched pages must carry an access penalty")
+	}
+}
+
+func TestCompressionOnSparsePages(t *testing.T) {
+	h, vm1, _ := newHost(t)
+	// A page with 128 nonzero bytes compresses well.
+	vm1.WriteGuestPage(3, 0, mem.FillBytes(128, 5))
+	r := Analyze(h, DefaultConfig())
+	if r.CompressedPages == 0 {
+		t.Fatalf("sparse page not compressed: %+v", r)
+	}
+	if r.CompressionBytes < pg/2 {
+		t.Fatalf("compression savings too small: %d", r.CompressionBytes)
+	}
+}
+
+func TestFullyRandomPagesIncompressible(t *testing.T) {
+	h, vm1, vm2 := newHost(t)
+	vm1.FillGuestPage(0, 11)
+	vm2.FillGuestPage(0, 22)
+	r := Analyze(h, DefaultConfig())
+	if r.CompressionBytes > 0 || r.SubPageBytes > 0 || r.IdenticalBytes > 0 {
+		t.Fatalf("random pages recovered memory: %+v", r)
+	}
+	if r.ScannedPages != 2 {
+		t.Fatalf("scanned = %d", r.ScannedPages)
+	}
+}
+
+func TestTotalsAdditive(t *testing.T) {
+	h, vm1, vm2 := newHost(t)
+	vm1.FillGuestPage(0, 7)
+	vm2.FillGuestPage(0, 7)                             // identical
+	vm1.WriteGuestPage(1, 0, mem.FillBytes(64, 3))      // compressible
+	vm2.WriteGuestPage(1, 100, mem.FillBytes(2000, 42)) // compressible
+	r := Analyze(h, DefaultConfig())
+	if r.TotalBytes() != r.IdenticalBytes+r.SubPageBytes+r.CompressionBytes {
+		t.Fatal("TotalBytes not additive")
+	}
+	if r.TotalBytes() <= 0 {
+		t.Fatal("no recovery at all")
+	}
+}

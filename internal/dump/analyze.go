@@ -1,0 +1,197 @@
+package dump
+
+import (
+	"sort"
+
+	"repro/internal/memanalysis"
+)
+
+// Offline analysis: the simulated `crash` utility. It applies the same
+// owner-oriented methodology as internal/memanalysis, but over a serialized
+// Dump instead of live structures, and produces the same result types — so
+// a dump taken on one machine can be analyzed anywhere, as the paper's
+// offline workflow does.
+
+type userKind uint8
+
+const (
+	kindProcess userKind = iota
+	kindKernel
+	kindVMOverhead
+)
+
+type user struct {
+	guest    *GuestDump
+	kind     userKind
+	proc     *ProcessDump
+	category string
+}
+
+// Analysis is the offline attribution of a dump.
+type Analysis struct {
+	pageSize int
+	users    map[uint32][]user
+	owner    map[uint32]int
+}
+
+// Analyze attributes every frame referenced by the dump.
+func Analyze(d *Dump) *Analysis {
+	a := &Analysis{
+		pageSize: d.PageSize,
+		users:    make(map[uint32][]user),
+		owner:    make(map[uint32]int),
+	}
+	for gi := range d.Guests {
+		g := &d.Guests[gi]
+		// Kernel-owned pages.
+		for _, kp := range g.KernelPages {
+			if f, ok := g.HostPTEs[g.MemslotBase+kp.GPFN]; ok {
+				a.users[f] = append(a.users[f], user{guest: g, kind: kindKernel, category: kp.Class})
+			}
+		}
+		// Processes: guest virtual → guest physical → host virtual → frame.
+		for pi := range g.Processes {
+			p := &g.Processes[pi]
+			for _, v := range p.VMAs {
+				for vpn := v.Start; vpn < v.End; vpn++ {
+					gpfn, ok := p.PTEs[vpn]
+					if !ok {
+						continue
+					}
+					f, ok := g.HostPTEs[g.MemslotBase+gpfn]
+					if !ok {
+						continue
+					}
+					a.users[f] = append(a.users[f], user{guest: g, kind: kindProcess, proc: p, category: v.Category})
+				}
+			}
+		}
+		// VM process overhead.
+		for vpn := g.OverheadStart; vpn < g.OverheadEnd; vpn++ {
+			if f, ok := g.HostPTEs[vpn]; ok {
+				a.users[f] = append(a.users[f], user{guest: g, kind: kindVMOverhead, category: "vm-overhead"})
+			}
+		}
+	}
+	for f, us := range a.users {
+		best := 0
+		for i := 1; i < len(us); i++ {
+			if ownerLess(us[i], us[best]) {
+				best = i
+			}
+		}
+		a.owner[f] = best
+	}
+	return a
+}
+
+func (u user) isJava() bool { return u.kind == kindProcess && u.proc.IsJava }
+
+func ownerLess(x, y user) bool {
+	xj, yj := x.isJava(), y.isJava()
+	if xj != yj {
+		return xj
+	}
+	if !xj {
+		return false
+	}
+	if x.proc.PID != y.proc.PID {
+		return x.proc.PID < y.proc.PID
+	}
+	return x.guest.ID < y.guest.ID
+}
+
+// TotalGuestBytes reports all attributed memory.
+func (a *Analysis) TotalGuestBytes() int64 {
+	return int64(len(a.users)) * int64(a.pageSize)
+}
+
+// VMBreakdowns computes the Fig. 2/4 view from the dump, identical in
+// semantics to the live analyzer's.
+func (a *Analysis) VMBreakdowns() []memanalysis.VMBreakdown {
+	byVM := map[int]*memanalysis.VMBreakdown{}
+	get := func(g *GuestDump) *memanalysis.VMBreakdown {
+		b, ok := byVM[g.ID]
+		if !ok {
+			b = &memanalysis.VMBreakdown{VMName: g.Name, VMID: g.ID}
+			byVM[g.ID] = b
+		}
+		return b
+	}
+	ps := int64(a.pageSize)
+	for f, us := range a.users {
+		oi := a.owner[f]
+		o := us[oi]
+		b := get(o.guest)
+		switch {
+		case o.kind == kindKernel:
+			b.KernelBytes += ps
+		case o.kind == kindVMOverhead:
+			b.VMOverheadBytes += ps
+		case o.isJava():
+			b.JavaBytes += ps
+		default:
+			b.OtherProcBytes += ps
+		}
+		for i, u := range us {
+			if i != oi {
+				get(u.guest).SavingsBytes += ps
+			}
+		}
+	}
+	out := make([]memanalysis.VMBreakdown, 0, len(byVM))
+	for _, b := range byVM {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VMID < out[j].VMID })
+	return out
+}
+
+// JavaBreakdowns computes the Fig. 3/5 view from the dump.
+func (a *Analysis) JavaBreakdowns() []memanalysis.JavaBreakdown {
+	type key struct {
+		vmID int
+		pid  int
+	}
+	byProc := map[key]*memanalysis.JavaBreakdown{}
+	ps := int64(a.pageSize)
+	for f, us := range a.users {
+		oi := a.owner[f]
+		for i, u := range us {
+			if !u.isJava() {
+				continue
+			}
+			k := key{u.guest.ID, u.proc.PID}
+			b, ok := byProc[k]
+			if !ok {
+				b = &memanalysis.JavaBreakdown{
+					VMName:   u.guest.Name,
+					VMID:     u.guest.ID,
+					ProcName: u.proc.Name,
+					PID:      u.proc.PID,
+					ByCat:    map[string]memanalysis.CategoryUsage{},
+				}
+				byProc[k] = b
+			}
+			cu := b.ByCat[u.category]
+			cu.MappedBytes += ps
+			if i == oi {
+				cu.OwnedBytes += ps
+			} else {
+				cu.SharedBytes += ps
+			}
+			b.ByCat[u.category] = cu
+		}
+	}
+	out := make([]memanalysis.JavaBreakdown, 0, len(byProc))
+	for _, b := range byProc {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].VMID != out[j].VMID {
+			return out[i].VMID < out[j].VMID
+		}
+		return out[i].PID < out[j].PID
+	})
+	return out
+}

@@ -1,0 +1,123 @@
+package guestos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// File is a file in a guest's disk image. Content is either generated
+// deterministically from a seed (regular base-image files: the kernel image,
+// shared libraries, the JVM binary, JAR files) or explicit bytes (the shared
+// class cache image, whose exact bytes the CDS layer produces).
+//
+// Two guests whose images contain a file with the same path and the same
+// content version produce byte-identical page-cache pages — that identity is
+// what lets TPS share the code area and the copied cache file across VMs.
+type File struct {
+	Path string
+	// SizeBytes is the file length; the last page is zero-padded.
+	SizeBytes int64
+	// ContentSeed generates page bytes when Data is nil.
+	ContentSeed mem.Seed
+	// Data holds explicit content (used for the shared class cache).
+	Data []byte
+}
+
+// Pages reports the file length in pages.
+func (f *File) Pages(pageSize int) int {
+	return int((f.SizeBytes + int64(pageSize) - 1) / int64(pageSize))
+}
+
+// FillPage writes the file's content for page idx into dst (len(dst) is the
+// page size).
+func (f *File) FillPage(dst []byte, idx int) {
+	if f.Data != nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		off := idx * len(dst)
+		if off < len(f.Data) {
+			copy(dst, f.Data[off:])
+		}
+		return
+	}
+	start := int64(idx) * int64(len(dst))
+	if start >= f.SizeBytes {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	mem.Fill(dst, mem.Combine(f.ContentSeed, mem.Seed(idx)))
+	// Zero-pad the tail of the final page so identical files stay identical
+	// regardless of how the simulator sizes pages.
+	if rem := f.SizeBytes - start; rem < int64(len(dst)) {
+		for i := int(rem); i < len(dst); i++ {
+			dst[i] = 0
+		}
+	}
+}
+
+// FS is the guest's file system view: a flat path-to-file map, which is all
+// the simulation needs (no directories, permissions, or mutation beyond
+// whole-file installs).
+type FS struct {
+	files map[string]*File
+}
+
+// NewFS returns an empty file system.
+func NewFS() *FS {
+	return &FS{files: make(map[string]*File)}
+}
+
+// Install adds or replaces a file.
+func (fs *FS) Install(f *File) {
+	if f.Path == "" {
+		panic("guestos: file with empty path")
+	}
+	if f.Data != nil {
+		f.SizeBytes = int64(len(f.Data))
+	}
+	fs.files[f.Path] = f
+}
+
+// InstallGenerated is a convenience for seed-generated base-image files.
+// The content seed is derived from the path and a version string only, so
+// every guest image carrying the same (path, version) has identical bytes.
+func (fs *FS) InstallGenerated(path, version string, sizeBytes int64) *File {
+	f := &File{
+		Path:        path,
+		SizeBytes:   sizeBytes,
+		ContentSeed: mem.Combine(mem.HashString(path), mem.HashString(version)),
+	}
+	fs.Install(f)
+	return f
+}
+
+// Lookup finds a file by path.
+func (fs *FS) Lookup(path string) (*File, bool) {
+	f, ok := fs.files[path]
+	return f, ok
+}
+
+// MustLookup finds a file or panics; loaders use it for files they installed
+// themselves.
+func (fs *FS) MustLookup(path string) *File {
+	f, ok := fs.files[path]
+	if !ok {
+		panic(fmt.Sprintf("guestos: no such file %q", path))
+	}
+	return f
+}
+
+// Paths lists installed files in sorted order (deterministic iteration).
+func (fs *FS) Paths() []string {
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package guestos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file provides the /proc-style introspection surface the paper's
+// methodology starts from (§2.A mentions /proc/<pid>/smaps and its PSS
+// values): per-process smaps rows and a kernel meminfo summary. The
+// host-physical attribution — which needs the other translation layers —
+// lives in internal/memanalysis.
+
+// SmapsRow describes one VMA like a /proc/<pid>/smaps entry.
+type SmapsRow struct {
+	Start, End uint64 // byte addresses
+	Kind       VMAKind
+	Category   string
+	Label      string
+	SizeBytes  int64
+	RSSBytes   int64
+}
+
+// Smaps reports the process's memory map with resident sizes, ordered by
+// address.
+func (p *Process) Smaps() []SmapsRow {
+	ps := int64(p.kernel.pageSize)
+	var rows []SmapsRow
+	for _, v := range p.SortedVMAs() {
+		rss := int64(0)
+		for vpn := v.Start; vpn < v.End; vpn++ {
+			if _, ok := p.pt.Lookup(vpn); ok {
+				rss += ps
+			}
+		}
+		rows = append(rows, SmapsRow{
+			Start:     uint64(v.Start) * uint64(ps),
+			End:       uint64(v.End) * uint64(ps),
+			Kind:      v.Kind,
+			Category:  v.Category,
+			Label:     v.Label,
+			SizeBytes: int64(v.Pages()) * ps,
+			RSSBytes:  rss,
+		})
+	}
+	return rows
+}
+
+// RSSBytes totals the process's resident set.
+func (p *Process) RSSBytes() int64 {
+	return int64(p.ResidentPages()) * int64(p.kernel.pageSize)
+}
+
+// FormatSmaps renders the map in a smaps-like text format.
+func (p *Process) FormatSmaps() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (pid %d) — %d VMAs, RSS %d kB\n", p.Name, p.PID, len(p.vmas), p.RSSBytes()/1024)
+	for _, r := range p.Smaps() {
+		kind := "anon"
+		if r.Kind == VMAFile {
+			kind = "file"
+		}
+		fmt.Fprintf(&b, "%012x-%012x %s %-20s %-28s Size:%8d kB  Rss:%8d kB\n",
+			r.Start, r.End, kind, r.Category, r.Label, r.SizeBytes/1024, r.RSSBytes/1024)
+	}
+	return b.String()
+}
+
+// MemInfo is the guest's /proc/meminfo summary.
+type MemInfo struct {
+	MemTotalBytes int64
+	MemFreeBytes  int64
+	CachedBytes   int64 // page cache (mapped + unmapped)
+	SlabBytes     int64
+	KernelBytes   int64 // text + data
+	AnonBytes     int64 // process-private pages
+}
+
+// MemInfo summarizes the guest's physical memory usage from the kernel's
+// own view.
+func (k *Kernel) MemInfo() MemInfo {
+	ps := int64(k.pageSize)
+	mi := MemInfo{MemTotalBytes: int64(k.vm.GuestPages()) * ps}
+	for _, o := range k.owners {
+		switch o {
+		case ownerNone:
+			// counted via free list below
+		case ownerKernelText, ownerKernelData:
+			mi.KernelBytes += ps
+		case ownerKernelSlab:
+			mi.SlabBytes += ps
+		case ownerPageCache:
+			mi.CachedBytes += ps
+		case ownerProcess:
+			mi.AnonBytes += ps
+		}
+	}
+	mi.MemFreeBytes = int64(len(k.freePFNs)) * ps
+	return mi
+}
+
+// String renders the meminfo in the familiar format.
+func (mi MemInfo) String() string {
+	return fmt.Sprintf(
+		"MemTotal: %8d kB\nMemFree:  %8d kB\nCached:   %8d kB\nSlab:     %8d kB\nKernel:   %8d kB\nAnonPages:%8d kB",
+		mi.MemTotalBytes/1024, mi.MemFreeBytes/1024, mi.CachedBytes/1024,
+		mi.SlabBytes/1024, mi.KernelBytes/1024, mi.AnonBytes/1024)
+}

@@ -1,0 +1,71 @@
+package guestos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSmapsReflectsVMAs(t *testing.T) {
+	k := bootVM(t, 128, KernelConfig{Version: "v", TextBytes: 2 * pg})
+	f := k.FS().InstallGenerated("/bin/app", "1", 4*pg)
+	p := k.Spawn("app", false)
+	cv := p.MapFile(f, 0, 0, "code", "/bin/app")
+	av := p.MapAnon(8, "heap", "app-heap")
+	p.TouchAll(cv, false)
+	p.Touch(av.Start, true)
+	p.Touch(av.Start+1, true)
+
+	rows := p.Smaps()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	byLabel := map[string]SmapsRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	code := byLabel["/bin/app"]
+	if code.Kind != VMAFile || code.SizeBytes != 4*pg || code.RSSBytes != 4*pg {
+		t.Fatalf("code row wrong: %+v", code)
+	}
+	heap := byLabel["app-heap"]
+	if heap.Kind != VMAAnon || heap.SizeBytes != 8*pg || heap.RSSBytes != 2*pg {
+		t.Fatalf("heap row wrong: %+v", heap)
+	}
+	if p.RSSBytes() != 6*pg {
+		t.Fatalf("RSS = %d, want %d", p.RSSBytes(), 6*pg)
+	}
+	out := p.FormatSmaps()
+	if !strings.Contains(out, "/bin/app") || !strings.Contains(out, "Rss:") {
+		t.Fatalf("smaps text:\n%s", out)
+	}
+}
+
+func TestMemInfoAccountsEverything(t *testing.T) {
+	k := bootVM(t, 256, KernelConfig{Version: "v", TextBytes: 4 * pg, DataBytes: 2 * pg, SlabBytes: 3 * pg})
+	k.FS().InstallGenerated("/f", "1", 8*pg)
+	k.ReadFileAll("/f")
+	p := k.Spawn("app", false)
+	v := p.MapAnon(5, "heap", "h")
+	p.TouchAll(v, true)
+
+	mi := k.MemInfo()
+	if mi.MemTotalBytes != 256*pg {
+		t.Fatalf("MemTotal = %d", mi.MemTotalBytes)
+	}
+	if mi.KernelBytes != 6*pg || mi.SlabBytes != 3*pg {
+		t.Fatalf("kernel/slab wrong: %+v", mi)
+	}
+	if mi.CachedBytes != 8*pg {
+		t.Fatalf("Cached = %d", mi.CachedBytes)
+	}
+	if mi.AnonBytes != 5*pg {
+		t.Fatalf("Anon = %d", mi.AnonBytes)
+	}
+	sum := mi.MemFreeBytes + mi.CachedBytes + mi.SlabBytes + mi.KernelBytes + mi.AnonBytes
+	if sum != mi.MemTotalBytes {
+		t.Fatalf("meminfo does not partition total: %d != %d", sum, mi.MemTotalBytes)
+	}
+	if !strings.Contains(mi.String(), "MemTotal") {
+		t.Fatal("String() wrong")
+	}
+}

@@ -1,0 +1,297 @@
+package hypervisor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/simclock"
+)
+
+const pg = mem.DefaultPageSize
+
+func newHost(t *testing.T, ramPages int) *Host {
+	t.Helper()
+	return NewHost(Config{Name: "test", RAMBytes: int64(ramPages) * pg}, simclock.New())
+}
+
+func TestHostKernelReserve(t *testing.T) {
+	h := NewHost(Config{Name: "t", RAMBytes: 64 * pg, KernelReserveBytes: 16 * pg}, simclock.New())
+	if got := h.Phys().FramesInUse(); got != 16 {
+		t.Fatalf("frames in use after reserve = %d, want 16", got)
+	}
+}
+
+func TestVMDemandPaging(t *testing.T) {
+	h := newHost(t, 64)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 32 * pg, Seed: 1})
+	if h.Phys().FramesInUse() != 0 {
+		t.Fatalf("guest memory eagerly allocated: %d frames", h.Phys().FramesInUse())
+	}
+	vm.TouchGuestPage(0, false)
+	vm.TouchGuestPage(5, true)
+	if got := vm.Stats().ResidentPages; got != 2 {
+		t.Fatalf("resident = %d, want 2", got)
+	}
+	if got := vm.Stats().MinorFaults; got != 2 {
+		t.Fatalf("minor faults = %d, want 2", got)
+	}
+	// Re-touch costs nothing.
+	vm.TouchGuestPage(0, true)
+	if got := vm.Stats().MinorFaults; got != 2 {
+		t.Fatalf("re-touch minor faults = %d, want 2", got)
+	}
+}
+
+func TestVMOverheadPopulated(t *testing.T) {
+	h := newHost(t, 64)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 8 * pg, OverheadBytes: 4 * pg, Seed: 1})
+	if got := vm.Stats().ResidentPages; got != 4 {
+		t.Fatalf("overhead resident = %d, want 4", got)
+	}
+	// Overhead content is per-VM: two VMs must not have identical pages.
+	vm2 := h.NewVM(VMConfig{Name: "vm2", GuestMemBytes: 8 * pg, OverheadBytes: 4 * pg, Seed: 2})
+	f1, ok1 := vm.ResolveResident(vm.overheadStart)
+	f2, ok2 := vm2.ResolveResident(vm2.overheadStart)
+	if !ok1 || !ok2 {
+		t.Fatal("overhead pages not resident")
+	}
+	if h.Phys().Equal(f1, f2) {
+		t.Fatal("per-VM overhead pages are identical; seeds not applied")
+	}
+}
+
+func TestWriteReadGuestPage(t *testing.T) {
+	h := newHost(t, 64)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 8 * pg, Seed: 1})
+	vm.WriteGuestPage(3, 128, []byte{0xde, 0xad})
+	b := vm.ReadGuestPage(3)
+	if b[128] != 0xde || b[129] != 0xad {
+		t.Fatalf("read back %v", b[128:130])
+	}
+}
+
+func TestFillAndZeroGuestPage(t *testing.T) {
+	h := newHost(t, 64)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 8 * pg, Seed: 1})
+	vm.FillGuestPage(2, 42)
+	f, _ := vm.ResolveResident(vm.GPFNToHostVPN(2))
+	if h.Phys().IsZero(f) {
+		t.Fatal("filled page is zero")
+	}
+	vm.ZeroGuestPage(2)
+	if !h.Phys().IsZero(f) {
+		t.Fatal("zeroed page is not zero")
+	}
+}
+
+func TestReleaseGuestPage(t *testing.T) {
+	h := newHost(t, 64)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 8 * pg, Seed: 1})
+	vm.FillGuestPage(1, 9)
+	before := h.Phys().FramesInUse()
+	vm.ReleaseGuestPage(1)
+	if h.Phys().FramesInUse() != before-1 {
+		t.Fatal("release did not free the frame")
+	}
+	// Next touch gets a fresh zero page.
+	b := vm.ReadGuestPage(1)
+	for _, c := range b {
+		if c != 0 {
+			t.Fatal("page content survived release")
+		}
+	}
+}
+
+func TestSwapEvictionAndMajorFault(t *testing.T) {
+	// 8 RAM pages, guest wants 16: forced eviction.
+	h := newHost(t, 8)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 32 * pg, Seed: 1})
+	for i := uint64(0); i < 16; i++ {
+		vm.FillGuestPage(i, mem.Seed(100+i))
+	}
+	if h.Stats().SwapOuts == 0 {
+		t.Fatal("no swap-outs under memory pressure")
+	}
+	if vm.Stats().ResidentPages > 8 {
+		t.Fatalf("resident %d exceeds RAM", vm.Stats().ResidentPages)
+	}
+	// Read back an early page: contents must survive the swap round-trip.
+	b := vm.ReadGuestPage(0)
+	want := mem.FillBytes(pg, 100)
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("swapped page content corrupted at byte %d", i)
+		}
+	}
+	if vm.Stats().MajorFaults == 0 {
+		t.Fatal("swap-in did not count a major fault")
+	}
+}
+
+func TestSwapZeroPagesCheap(t *testing.T) {
+	h := newHost(t, 8)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 32 * pg, Seed: 1})
+	for i := uint64(0); i < 20; i++ {
+		vm.TouchGuestPage(i, true) // zero pages
+	}
+	// Swap store holds zero pages as nil; occupancy is still accounted.
+	if h.SwapUsedBytes() == 0 {
+		t.Fatal("expected swap occupancy")
+	}
+	b := vm.ReadGuestPage(0)
+	for _, c := range b {
+		if c != 0 {
+			t.Fatal("zero page corrupted by swap round-trip")
+		}
+	}
+}
+
+func TestCOWBreakOnSharedWrite(t *testing.T) {
+	h := newHost(t, 64)
+	vm1 := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 8 * pg, Seed: 1})
+	vm2 := h.NewVM(VMConfig{Name: "vm2", GuestMemBytes: 8 * pg, Seed: 2})
+	vm1.FillGuestPage(0, 7)
+	vm2.FillGuestPage(0, 7)
+
+	// Manually merge as KSM would: vm2's page 0 remaps to vm1's frame.
+	vpn1 := vm1.GPFNToHostVPN(0)
+	vpn2 := vm2.GPFNToHostVPN(0)
+	f1, _ := vm1.ResolveResident(vpn1)
+	h.Phys().SetKSM(f1, true)
+	vm1.WriteProtect(vpn1)
+	h.Phys().IncRef(f1)
+	vm2.RemapShared(vpn2, f1)
+
+	if h.Phys().RefCount(f1) != 2 {
+		t.Fatalf("refcount = %d, want 2", h.Phys().RefCount(f1))
+	}
+
+	var broke []mem.FrameID
+	h.OnCOWBreak = func(_ *VMProcess, _ mem.VPN, old mem.FrameID) { broke = append(broke, old) }
+
+	vm2.WriteGuestPage(0, 0, []byte{1})
+	if len(broke) != 1 || broke[0] != f1 {
+		t.Fatalf("COW break hook = %v, want [%d]", broke, f1)
+	}
+	if h.Phys().RefCount(f1) != 1 {
+		t.Fatalf("stable frame refcount after break = %d, want 1", h.Phys().RefCount(f1))
+	}
+	// vm1's view is unchanged; vm2 diverged.
+	b1 := vm1.ReadGuestPage(0)
+	b2 := vm2.ReadGuestPage(0)
+	if b1[0] == b2[0] {
+		t.Fatal("write leaked through COW sharing")
+	}
+	if h.Stats().COWBreaks != 1 {
+		t.Fatalf("host COW breaks = %d, want 1", h.Stats().COWBreaks)
+	}
+}
+
+func TestSharedPagesNotEvicted(t *testing.T) {
+	h := newHost(t, 8)
+	vm1 := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 32 * pg, Seed: 1})
+	vm2 := h.NewVM(VMConfig{Name: "vm2", GuestMemBytes: 32 * pg, Seed: 2})
+	vm1.FillGuestPage(0, 7)
+	vm2.FillGuestPage(0, 7)
+	vpn1 := vm1.GPFNToHostVPN(0)
+	f1, _ := vm1.ResolveResident(vpn1)
+	h.Phys().SetKSM(f1, true)
+	vm1.WriteProtect(vpn1)
+	h.Phys().IncRef(f1)
+	vm2.RemapShared(vm2.GPFNToHostVPN(0), f1)
+
+	// Thrash with private pages; the stable frame must remain resident.
+	for i := uint64(1); i < 20; i++ {
+		vm1.FillGuestPage(i, mem.Seed(i))
+	}
+	if got, ok := vm1.ResolveResident(vpn1); !ok || got != f1 {
+		t.Fatal("KSM stable page was evicted")
+	}
+}
+
+func TestGPFNOutOfRangePanics(t *testing.T) {
+	h := newHost(t, 8)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 4 * pg, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range gpfn did not panic")
+		}
+	}()
+	vm.TouchGuestPage(4, false)
+}
+
+func TestMergeableRegionsCoverGuestOnly(t *testing.T) {
+	h := newHost(t, 64)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 8 * pg, OverheadBytes: 4 * pg, Seed: 1})
+	regs := vm.MergeableRegions()
+	if len(regs) != 1 {
+		t.Fatalf("regions = %d, want 1", len(regs))
+	}
+	r := regs[0]
+	if r.Start != vm.MemslotBase() || r.End != vm.MemslotBase()+8 {
+		t.Fatalf("region [%d,%d), want [%d,%d)", r.Start, r.End, vm.MemslotBase(), vm.MemslotBase()+8)
+	}
+	if vm.overheadStart < r.End {
+		t.Fatal("overhead overlaps the mergeable region")
+	}
+}
+
+// Property: any sequence of fill/zero/release on distinct pages keeps the
+// frame accounting consistent (resident + free + reserved == total).
+func TestPropertyFrameAccounting(t *testing.T) {
+	f := func(ops []uint8) bool {
+		h := NewHost(Config{Name: "p", RAMBytes: 32 * pg}, simclock.New())
+		vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: 16 * pg, Seed: 3})
+		for i, op := range ops {
+			gpfn := uint64(op % 16)
+			switch (int(op) + i) % 3 {
+			case 0:
+				vm.FillGuestPage(gpfn, mem.Seed(op))
+			case 1:
+				vm.ZeroGuestPage(gpfn)
+			case 2:
+				vm.ReleaseGuestPage(gpfn)
+			}
+		}
+		inUse := h.Phys().FramesInUse()
+		free := h.Phys().FreeFrames()
+		if inUse+free != h.Phys().TotalFrames() {
+			return false
+		}
+		return vm.Stats().ResidentPages == inUse
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: swap round-trips preserve content for arbitrary page seeds.
+func TestPropertySwapPreservesContent(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 24 {
+			seeds = seeds[:24]
+		}
+		h := NewHost(Config{Name: "p", RAMBytes: 8 * pg}, simclock.New())
+		vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: 32 * pg, Seed: 3})
+		for i, s := range seeds {
+			vm.FillGuestPage(uint64(i), mem.Seed(s)+1000)
+		}
+		for i, s := range seeds {
+			got := vm.ReadGuestPage(uint64(i))
+			want := mem.FillBytes(pg, mem.Seed(s)+1000)
+			for j := range want {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package hypervisor
+
+import "repro/internal/mem"
+
+// swapStore holds the contents of evicted pages. Zero pages are stored as
+// nil slices so an idle over-committed guest costs almost no simulator
+// memory, mirroring how little disk traffic it causes in reality.
+type swapStore struct {
+	pageSize int
+	maxPages int // 0 = unbounded
+	slots    map[uint32][]byte
+	next     uint32
+	freed    []uint32
+}
+
+func newSwapStore(maxBytes int64, pageSize int) *swapStore {
+	maxPages := 0
+	if maxBytes > 0 {
+		maxPages = int(maxBytes / int64(pageSize))
+	}
+	return &swapStore{
+		pageSize: pageSize,
+		maxPages: maxPages,
+		slots:    make(map[uint32][]byte),
+	}
+}
+
+// out copies frame contents into a fresh swap slot, reporting false when the
+// store is full.
+func (s *swapStore) out(pm *mem.PhysMem, f mem.FrameID) (uint32, bool) {
+	if s.maxPages > 0 && len(s.slots) >= s.maxPages {
+		return 0, false
+	}
+	var slot uint32
+	if n := len(s.freed); n > 0 {
+		slot = s.freed[n-1]
+		s.freed = s.freed[:n-1]
+	} else {
+		slot = s.next
+		s.next++
+	}
+	if pm.IsZero(f) {
+		s.slots[slot] = nil
+	} else {
+		buf := make([]byte, s.pageSize)
+		copy(buf, pm.Bytes(f))
+		s.slots[slot] = buf
+	}
+	return slot, true
+}
+
+// in restores a swap slot's contents into frame f and releases the slot.
+func (s *swapStore) in(pm *mem.PhysMem, slot uint32, f mem.FrameID) {
+	buf, ok := s.slots[slot]
+	if !ok {
+		panic("hypervisor: swap-in from free slot")
+	}
+	if buf != nil {
+		pm.Write(f, 0, buf)
+	}
+	delete(s.slots, slot)
+	s.freed = append(s.freed, slot)
+}
+
+// drop releases a slot without restoring it (the mapping was unmapped while
+// swapped out).
+func (s *swapStore) drop(slot uint32) {
+	if _, ok := s.slots[slot]; !ok {
+		panic("hypervisor: drop of free swap slot")
+	}
+	delete(s.slots, slot)
+	s.freed = append(s.freed, slot)
+}
+
+func (s *swapStore) usedBytes() int64 {
+	return int64(len(s.slots)) * int64(s.pageSize)
+}

@@ -1,0 +1,67 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/simclock"
+)
+
+func TestBoundedSwapRefusesEviction(t *testing.T) {
+	// 8 RAM pages, swap bounded to 4 pages: after 4 evictions the store is
+	// full, the next allocation beyond RAM+swap must panic loudly instead of
+	// silently corrupting state.
+	h := NewHost(Config{Name: "t", RAMBytes: 8 * pg, SwapBytes: 4 * pg}, simclock.New())
+	vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: 32 * pg, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when RAM and swap are both exhausted")
+		}
+		if h.SwapUsedBytes() != 4*pg {
+			t.Fatalf("swap used %d, want full 4 pages", h.SwapUsedBytes())
+		}
+	}()
+	for i := uint64(0); i < 16; i++ {
+		vm.FillGuestPage(i, mem.Seed(100+i))
+	}
+}
+
+func TestSwapSlotsRecycled(t *testing.T) {
+	h := NewHost(Config{Name: "t", RAMBytes: 8 * pg}, simclock.New())
+	vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: 64 * pg, Seed: 1})
+	// Cycle a working set larger than RAM several times; swap occupancy must
+	// stay bounded by (working set - RAM), not grow monotonically.
+	for round := 0; round < 5; round++ {
+		for i := uint64(0); i < 16; i++ {
+			vm.FillGuestPage(i, mem.Combine(mem.Seed(round), mem.Seed(i)))
+		}
+	}
+	if used := h.SwapUsedBytes(); used > 16*pg {
+		t.Fatalf("swap leaked slots: %d bytes", used)
+	}
+	if h.Stats().MajorFaults == 0 {
+		t.Fatal("no refaults during cycling")
+	}
+}
+
+func TestReleaseWhileSwappedDropsSlot(t *testing.T) {
+	h := NewHost(Config{Name: "t", RAMBytes: 8 * pg}, simclock.New())
+	vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: 64 * pg, Seed: 1})
+	for i := uint64(0); i < 16; i++ {
+		vm.FillGuestPage(i, mem.Seed(i))
+	}
+	before := h.SwapUsedBytes()
+	if before == 0 {
+		t.Fatal("nothing swapped")
+	}
+	// Release every guest page; swap must drain completely.
+	for i := uint64(0); i < 16; i++ {
+		vm.ReleaseGuestPage(i)
+	}
+	if h.SwapUsedBytes() != 0 {
+		t.Fatalf("swap not drained: %d", h.SwapUsedBytes())
+	}
+	if vm.Stats().SwappedPages != 0 {
+		t.Fatalf("swapped count %d after releasing all", vm.Stats().SwappedPages)
+	}
+}

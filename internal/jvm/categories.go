@@ -1,0 +1,30 @@
+// Package jvm simulates a production Java VM's memory behaviour at page
+// granularity: class loading with a ROMClass/RAMClass split and optional
+// shared-class-cache attach, a garbage-collected object heap under two GC
+// policies, a JIT compiler with profile-dependent code and transient
+// scratch memory, malloc arenas, NIO buffers and thread stacks.
+//
+// Every byte the JVM writes is deterministic in the logical identity of the
+// data plus, where the real artifact embeds addresses or profile data, the
+// process's randomization seed. That is what makes page sharing across VMs
+// succeed or fail for exactly the reasons §3-4 of the paper describes.
+package jvm
+
+// Memory categories from Table IV of the paper. Every VMA a JVM creates is
+// tagged with one of these so the analyzer can reproduce the detailed
+// breakdowns of Fig. 3 and Fig. 5.
+const (
+	CatCode      = "Code"
+	CatClassMeta = "Class metadata"
+	CatJITCode   = "JIT-compiled code"
+	CatJITWork   = "JIT work area"
+	CatHeap      = "Java heap"
+	CatJVMWork   = "JVM work area"
+	CatStack     = "Stack"
+)
+
+// Categories lists the Table IV categories in the paper's presentation
+// order.
+func Categories() []string {
+	return []string{CatCode, CatClassMeta, CatJITCode, CatJITWork, CatHeap, CatJVMWork, CatStack}
+}

@@ -1,0 +1,320 @@
+package jvm
+
+import (
+	"fmt"
+
+	"repro/internal/guestos"
+	"repro/internal/mem"
+)
+
+// GCPolicy selects the collector, matching the two J9 policies the paper
+// runs: optthruput (flat heap, parallel mark-sweep-compact) and gencon
+// (generational: copying nursery + tenured space).
+type GCPolicy uint8
+
+const (
+	// OptThruput is the flat-heap throughput collector (paper §2-5 default).
+	OptThruput GCPolicy = iota
+	// GenCon is the generational collector the paper uses for
+	// SPECjEnterprise 2010 (§5.C: 530 MB nursery + 200 MB tenured).
+	GenCon
+)
+
+func (p GCPolicy) String() string {
+	if p == GenCon {
+		return "gencon"
+	}
+	return "optthruput"
+}
+
+// objHeaderBytes is the object header size: class pointer + lock/hash word,
+// as on a 64-bit JVM.
+const objHeaderBytes = 24
+
+// zeroAheadBytes is how much freed space the collector zero-fills ahead of
+// the allocation point. The sweep publishes zeroed pages just ahead of
+// allocation rather than bulk-zeroing all free space; the zeroed window is
+// overwritten within moments — which is why the paper finds the heap's
+// zero-page sharing at only 0.7 % and notes those pages are "soon modified
+// and divided".
+const zeroAheadBytes = 256 << 10
+
+// Object is a Java object (or array). Its page bytes are derived from its
+// logical identity plus its current address and header state, so moving it
+// or locking it changes page content — the two effects §3.2 identifies as
+// killing heap sharing.
+type Object struct {
+	Size    int
+	Logical mem.Seed
+	// LongLived objects survive collections until released (session state,
+	// caches); everything else dies young.
+	LongLived bool
+
+	addr      Addr
+	headerGen uint32
+}
+
+// Addr reports the object's current guest-virtual address.
+func (o *Object) Addr() Addr { return o.addr }
+
+// HeapStats counts collector activity.
+type HeapStats struct {
+	Allocations    uint64
+	BytesAllocated int64
+	MinorGCs       uint64
+	MajorGCs       uint64
+	PromotedBytes  int64
+	HeaderWrites   uint64
+}
+
+// Heap is the garbage-collected object heap of one JVM.
+type Heap struct {
+	proc     *guestos.Process
+	policy   GCPolicy
+	pageSize int
+
+	// OptThruput: one space. GenCon: space is the nursery and tenured is
+	// the old generation.
+	space      *guestos.VMA
+	spaceBytes int64
+	allocOff   int64
+	highWater  int64
+
+	tenured      *guestos.VMA
+	tenuredBytes int64
+	tenuredOff   int64
+
+	// triggerFrac is the fill fraction that triggers a collection; the
+	// untouched tail above the high-water mark is what keeps heap
+	// residency below -Xmx, as observed in Fig. 3(a).
+	triggerFrac float64
+
+	live    []*Object // long-lived survivors in the (nursery) space
+	old     []*Object // objects in tenured space (GenCon only)
+	oldDead int       // released tenured objects awaiting a major GC
+
+	stats HeapStats
+}
+
+// newHeap carves the heap out of the process's address space.
+func newHeap(proc *guestos.Process, policy GCPolicy, heapBytes, nurseryBytes, tenuredBytes int64) *Heap {
+	ps := proc.Kernel().PageSize()
+	h := &Heap{proc: proc, policy: policy, pageSize: ps, triggerFrac: 0.75}
+	switch policy {
+	case OptThruput:
+		if heapBytes <= 0 {
+			panic("jvm: OptThruput heap needs HeapBytes")
+		}
+		h.spaceBytes = heapBytes
+		h.space = proc.MapAnon(int(heapBytes/int64(ps)), CatHeap, "java-heap")
+	case GenCon:
+		if nurseryBytes <= 0 || tenuredBytes <= 0 {
+			panic("jvm: GenCon heap needs NurseryBytes and TenuredBytes")
+		}
+		h.spaceBytes = nurseryBytes
+		h.space = proc.MapAnon(int(nurseryBytes/int64(ps)), CatHeap, "nursery")
+		h.tenuredBytes = tenuredBytes
+		h.tenured = proc.MapAnon(int(tenuredBytes/int64(ps)), CatHeap, "tenured")
+	}
+	return h
+}
+
+// Stats returns a snapshot of collector counters.
+func (h *Heap) Stats() HeapStats { return h.stats }
+
+// Policy reports the configured collector.
+func (h *Heap) Policy() GCPolicy { return h.policy }
+
+// LiveObjects reports the long-lived population (nursery survivors plus
+// tenured objects).
+func (h *Heap) LiveObjects() int { return len(h.live) + len(h.old) - h.oldDead }
+
+// spaceBase returns the byte address of the (nursery) space.
+func (h *Heap) spaceBase() Addr { return Addr(int64(h.space.Start) * int64(h.pageSize)) }
+
+func (h *Heap) tenuredBase() Addr { return Addr(int64(h.tenured.Start) * int64(h.pageSize)) }
+
+// Alloc creates an object of size bytes with the given logical identity.
+// Filling the heap past the trigger fraction runs a collection first.
+func (h *Heap) Alloc(size int, logical mem.Seed, longLived bool) *Object {
+	if size <= 0 {
+		panic(fmt.Sprintf("jvm: heap alloc %d", size))
+	}
+	size = (size + arenaAlign - 1) &^ (arenaAlign - 1)
+	if h.allocOff+int64(size) > int64(h.triggerFrac*float64(h.spaceBytes)) {
+		h.Collect()
+	}
+	if h.allocOff+int64(size) > h.spaceBytes {
+		panic(fmt.Sprintf("jvm: heap OOM: live %d bytes + %d requested exceeds %d",
+			h.allocOff, size, h.spaceBytes))
+	}
+	o := &Object{Size: size, Logical: logical, LongLived: longLived}
+	o.addr = h.spaceBase() + Addr(h.allocOff)
+	h.allocOff += int64(size)
+	if h.allocOff > h.highWater {
+		h.highWater = h.allocOff
+	}
+	h.writeObject(o)
+	if longLived {
+		h.live = append(h.live, o)
+	}
+	h.stats.Allocations++
+	h.stats.BytesAllocated += int64(size)
+	return o
+}
+
+// writeObject materializes the object's bytes at its current address:
+// a header that depends on address and lock/hash state, and a body that
+// depends on logical content and address (references embed addresses).
+func (h *Heap) writeObject(o *Object) {
+	hdrSeed := mem.Combine(mem.HashString("hdr"), o.Logical, mem.Seed(o.addr), mem.Seed(o.headerGen))
+	n := objHeaderBytes
+	if n > o.Size {
+		n = o.Size
+	}
+	fillBytes(h.proc, h.pageSize, o.addr, n, hdrSeed)
+	if o.Size > n {
+		bodySeed := mem.Combine(mem.HashString("body"), o.Logical, mem.Seed(o.addr))
+		fillBytes(h.proc, h.pageSize, o.addr+Addr(n), o.Size-n, bodySeed)
+	}
+}
+
+// Mutate performs a header-only operation on the object (acquiring its
+// monitor, computing its identity hash): the paper's first reason even
+// read-only objects defeat sharing.
+func (h *Heap) Mutate(o *Object) {
+	o.headerGen++
+	hdrSeed := mem.Combine(mem.HashString("hdr"), o.Logical, mem.Seed(o.addr), mem.Seed(o.headerGen))
+	n := objHeaderBytes
+	if n > o.Size {
+		n = o.Size
+	}
+	fillBytes(h.proc, h.pageSize, o.addr, n, hdrSeed)
+	h.stats.HeaderWrites++
+}
+
+// Release marks a long-lived object dead; the space is reclaimed by the
+// next collection that covers it.
+func (h *Heap) Release(o *Object) {
+	if !o.LongLived {
+		return
+	}
+	o.LongLived = false
+	for i, p := range h.live {
+		if p == o {
+			h.live = append(h.live[:i], h.live[i+1:]...)
+			return
+		}
+	}
+	// Not in the nursery survivor list: it was promoted.
+	h.oldDead++
+}
+
+// Collect runs one collection appropriate to the policy.
+func (h *Heap) Collect() {
+	switch h.policy {
+	case OptThruput:
+		h.compactSpace()
+		h.stats.MajorGCs++
+	case GenCon:
+		h.minorGC()
+	}
+}
+
+// compactSpace is the mark-sweep-compact cycle of optthruput: survivors
+// slide to the bottom of the space (moving ⇒ new addresses ⇒ new page
+// bytes) and a window of freed space ahead of the new allocation point is
+// zero-filled — the short-lived zero pages behind the paper's 0.7 % heap
+// sharing. The rest of the freed region keeps its stale object bytes until
+// allocation reaches it.
+func (h *Heap) compactSpace() {
+	var newOff int64
+	for _, o := range h.live {
+		o.addr = h.spaceBase() + Addr(newOff)
+		newOff += int64(o.Size)
+	}
+	for _, o := range h.live {
+		h.writeObject(o)
+	}
+	end := newOff + zeroAheadBytes
+	if end > h.highWater {
+		end = h.highWater
+	}
+	h.zeroSpaceRange(newOff, end)
+	h.allocOff = newOff
+}
+
+// minorGC is the gencon nursery collection: long-lived young objects are
+// promoted into tenured space and the nursery is wiped to zeros.
+func (h *Heap) minorGC() {
+	for _, o := range h.live {
+		if h.tenuredOff+int64(o.Size) > h.tenuredBytes {
+			h.majorGC()
+			if h.tenuredOff+int64(o.Size) > h.tenuredBytes {
+				panic("jvm: tenured space OOM")
+			}
+		}
+		o.addr = h.tenuredBase() + Addr(h.tenuredOff)
+		h.tenuredOff += int64(o.Size)
+		h.writeObject(o)
+		h.old = append(h.old, o)
+		h.stats.PromotedBytes += int64(o.Size)
+	}
+	h.live = h.live[:0]
+	end := int64(zeroAheadBytes)
+	if end > h.highWater {
+		end = h.highWater
+	}
+	h.zeroSpaceRange(0, end)
+	h.allocOff = 0
+	h.stats.MinorGCs++
+}
+
+// majorGC compacts the tenured space, dropping released objects.
+func (h *Heap) majorGC() {
+	var keep []*Object
+	var newOff int64
+	for _, o := range h.old {
+		if !o.LongLived {
+			continue
+		}
+		o.addr = h.tenuredBase() + Addr(newOff)
+		newOff += int64(o.Size)
+		keep = append(keep, o)
+	}
+	for _, o := range keep {
+		h.writeObject(o)
+	}
+	end := newOff + zeroAheadBytes
+	if end > h.tenuredOff {
+		end = h.tenuredOff
+	}
+	h.zeroTenuredRange(newOff, end)
+	h.old = keep
+	h.oldDead = 0
+	h.tenuredOff = newOff
+	h.stats.MajorGCs++
+}
+
+// zeroSpaceRange zero-fills [from, to) bytes of the (nursery) space.
+func (h *Heap) zeroSpaceRange(from, to int64) {
+	h.zeroRange(h.space, from, to)
+}
+
+func (h *Heap) zeroTenuredRange(from, to int64) {
+	h.zeroRange(h.tenured, from, to)
+}
+
+// zeroRange clears the pages fully contained in [from, to). Edge pages
+// shared with live data keep their bytes (a real sweep zeroes free chunks
+// at byte granularity; at page granularity the partially-live edge pages
+// simply stay dirty, which only makes them non-shareable — the safe
+// direction for the fidelity of the sharing results).
+func (h *Heap) zeroRange(v *guestos.VMA, from, to int64) {
+	ps := int64(h.pageSize)
+	firstFull := (from + ps - 1) / ps
+	endFull := to / ps
+	for p := firstFull; p < endFull; p++ {
+		h.proc.ZeroPage(v.Start + mem.VPN(p))
+	}
+}

@@ -1,0 +1,91 @@
+package jvm
+
+import (
+	"repro/internal/guestos"
+	"repro/internal/mem"
+)
+
+// JIT models the just-in-time compiler's memory behaviour (§3-4 of the
+// paper):
+//
+//   - Compiled code goes into a code cache whose bytes depend on runtime
+//     profile data, so they differ between processes even for the same
+//     method — which is why the paper classifies JIT-compiled code as
+//     unshareable.
+//   - Compilation uses scratch segments that are written intensely during a
+//     compile and recycled afterwards; the recycled pages stay resident
+//     holding stale per-process compiler state, so the JIT work area is
+//     both short-lived and unshareable (paper §4.A).
+type JIT struct {
+	proc       *guestos.Process
+	code       *arena
+	scratch    *arena
+	scratchCap int64
+
+	// profileSeed randomizes generated code per process: it stands in for
+	// the invocation counts, receiver types and branch profiles the real
+	// JIT bakes into its output.
+	profileSeed mem.Seed
+
+	stats JITStats
+}
+
+// JITStats counts compiler activity.
+type JITStats struct {
+	MethodsCompiled int
+	CodeBytes       int64
+	ScratchPeak     int64
+}
+
+// scratchSegBytes is the JIT scratch segment granularity (structural, does
+// not scale).
+const scratchSegBytes = 64 << 10
+
+func newJIT(proc *guestos.Process, codeSeg, scratchCap int64) *JIT {
+	if scratchCap < scratchSegBytes {
+		scratchCap = scratchSegBytes
+	}
+	return &JIT{
+		proc:        proc,
+		code:        newArena(proc, CatJITCode, "jit-code-cache", codeSeg),
+		scratch:     newArena(proc, CatJITWork, "jit-scratch", scratchSegBytes),
+		scratchCap:  scratchCap,
+		profileSeed: mem.Combine(mem.HashString("jit-profile"), proc.Seed()),
+	}
+}
+
+// Stats returns a snapshot of compiler counters.
+func (j *JIT) Stats() JITStats { return j.stats }
+
+// CompileMethod generates native code for method index m of a class. The
+// code size scales with a per-method deterministic factor; the content mixes
+// the class identity with the per-process profile.
+func (j *JIT) CompileMethod(classSeed mem.Seed, m int) {
+	r := mem.Mix(mem.Combine(classSeed, mem.Seed(m)))
+	size := 2048 + int(uint64(r)%12288) // 2-14 KiB of generated code
+	// Scratch burst: the compiler's working set during this compilation,
+	// written with per-process intermediate data. The scratch pool is
+	// bounded: when it fills, freed segments are recycled (zeroed, still
+	// resident) — the paper's "short-lived work area" behaviour.
+	scratchSize := size * 4
+	if j.scratch.allocated+int64(scratchSize) > j.scratchCap {
+		j.FinishBurst()
+	}
+	sa := j.scratch.alloc(scratchSize)
+	j.scratch.fill(sa, scratchSize, mem.Combine(j.profileSeed, mem.Seed(sa)))
+	if j.scratch.allocated > j.stats.ScratchPeak {
+		j.stats.ScratchPeak = j.scratch.allocated
+	}
+
+	j.code.allocFill(size, mem.Combine(classSeed, mem.Seed(m), j.profileSeed))
+	j.stats.MethodsCompiled++
+	j.stats.CodeBytes += int64(size)
+}
+
+// FinishBurst recycles the scratch segments after a compilation burst: the
+// pages stay resident with stale compiler state (freeing does not zero),
+// which is why the paper finds the JIT work area unshareable.
+func (j *JIT) FinishBurst() {
+	j.scratch.recycle()
+	j.scratch.allocated = 0
+}

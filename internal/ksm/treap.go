@@ -1,0 +1,162 @@
+package ksm
+
+import "repro/internal/mem"
+
+// stableTreap is an ordered tree over KSM stable frames keyed by
+// lexicographic page content. Stable frames are write-protected, so — unlike
+// the unstable index — their keys can never drift and the tree stays
+// consistent. A treap keeps the structure balanced in expectation with
+// deterministic pseudo-random priorities, so runs remain reproducible.
+type stableTreap struct {
+	pm    *mem.PhysMem
+	root  *treapNode
+	size  int
+	prSrc mem.Seed
+}
+
+type treapNode struct {
+	frame       mem.FrameID
+	prio        uint64
+	left, right *treapNode
+}
+
+func newStableTreap(pm *mem.PhysMem) *stableTreap {
+	return &stableTreap{pm: pm, prSrc: mem.HashString("ksm-stable-treap")}
+}
+
+func (t *stableTreap) nextPrio() uint64 {
+	t.prSrc = mem.Mix(t.prSrc)
+	return uint64(t.prSrc)
+}
+
+// lookup finds a stable frame with content byte-identical to probe.
+func (t *stableTreap) lookup(probe mem.FrameID) (mem.FrameID, bool) {
+	n := t.root
+	for n != nil {
+		switch c := t.pm.Compare(probe, n.frame); {
+		case c == 0:
+			return n.frame, true
+		case c < 0:
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return mem.NilFrame, false
+}
+
+// insert adds a stable frame. Content must not already be present; the
+// caller looks up first.
+func (t *stableTreap) insert(frame mem.FrameID) {
+	t.root = t.insertAt(t.root, &treapNode{frame: frame, prio: t.nextPrio()})
+	t.size++
+}
+
+func (t *stableTreap) insertAt(n, nn *treapNode) *treapNode {
+	if n == nil {
+		return nn
+	}
+	if t.pm.Compare(nn.frame, n.frame) < 0 {
+		n.left = t.insertAt(n.left, nn)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	} else {
+		n.right = t.insertAt(n.right, nn)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	}
+	return n
+}
+
+// remove deletes the node holding exactly this frame id.
+func (t *stableTreap) remove(frame mem.FrameID) bool {
+	removed := false
+	t.root = t.removeAt(t.root, frame, &removed)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func (t *stableTreap) removeAt(n *treapNode, frame mem.FrameID, removed *bool) *treapNode {
+	if n == nil {
+		return nil
+	}
+	c := t.pm.Compare(frame, n.frame)
+	switch {
+	case c == 0 && n.frame == frame:
+		*removed = true
+		return mergeDown(n)
+	case c == 0:
+		// Identical content in a different frame should not exist in the
+		// stable tree, but be defensive: check both subtrees.
+		n.left = t.removeAt(n.left, frame, removed)
+		if !*removed {
+			n.right = t.removeAt(n.right, frame, removed)
+		}
+	case c < 0:
+		n.left = t.removeAt(n.left, frame, removed)
+	default:
+		n.right = t.removeAt(n.right, frame, removed)
+	}
+	return n
+}
+
+// mergeDown removes the root of a subtree by rotating it to a leaf.
+func mergeDown(n *treapNode) *treapNode {
+	for {
+		switch {
+		case n.left == nil && n.right == nil:
+			return nil
+		case n.left == nil:
+			return n.right
+		case n.right == nil:
+			return n.left
+		case n.left.prio > n.right.prio:
+			n = rotateRight(n)
+			n.right = mergeDown(n.right)
+			return n
+		default:
+			n = rotateLeft(n)
+			n.left = mergeDown(n.left)
+			return n
+		}
+	}
+}
+
+func rotateRight(n *treapNode) *treapNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *treapNode) *treapNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}
+
+// walk visits every stable frame in key order.
+func (t *stableTreap) walk(fn func(frame mem.FrameID)) {
+	var rec func(n *treapNode)
+	rec = func(n *treapNode) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		fn(n.frame)
+		rec(n.right)
+	}
+	rec(t.root)
+}
+
+// frames returns all stable frames in key order.
+func (t *stableTreap) frames() []mem.FrameID {
+	out := make([]mem.FrameID, 0, t.size)
+	t.walk(func(f mem.FrameID) { out = append(out, f) })
+	return out
+}

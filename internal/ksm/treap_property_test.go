@@ -1,0 +1,72 @@
+package ksm
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// Property: under any interleaving of inserts and removes, the stable treap
+// stays sorted by content, reports exact membership, and matches a
+// reference set.
+func TestPropertyTreapMatchesReferenceSet(t *testing.T) {
+	f := func(ops []uint16) bool {
+		pm := mem.NewPhysMem(512*pg, pg)
+		tr := newStableTreap(pm)
+		ref := map[mem.FrameID]bool{}
+		var frames []mem.FrameID
+		for _, op := range ops {
+			if op%3 != 0 || len(frames) == 0 {
+				// Insert a frame with unique content.
+				id, err := pm.Alloc()
+				if err != nil {
+					break
+				}
+				pm.FillFrame(id, mem.Combine(mem.Seed(op), mem.Seed(len(frames))))
+				if _, dup := tr.lookup(id); dup {
+					pm.DecRef(id)
+					continue
+				}
+				tr.insert(id)
+				ref[id] = true
+				frames = append(frames, id)
+			} else {
+				// Remove a pseudo-random member.
+				idx := int(op) % len(frames)
+				id := frames[idx]
+				if ref[id] {
+					if !tr.remove(id) {
+						return false
+					}
+					delete(ref, id)
+				}
+			}
+		}
+		// Size and membership agree with the reference.
+		walk := tr.frames()
+		if len(walk) != len(ref) {
+			return false
+		}
+		for _, id := range walk {
+			if !ref[id] {
+				return false
+			}
+		}
+		// Walk order is content order.
+		if !sort.SliceIsSorted(walk, func(i, j int) bool { return pm.Compare(walk[i], walk[j]) < 0 }) {
+			return false
+		}
+		// Lookup finds exactly the members.
+		for id := range ref {
+			if got, ok := tr.lookup(id); !ok || got != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package mem models host physical memory at page granularity: a pool of
+// page frames with reference counting and real byte contents, page tables
+// mapping virtual page numbers to frames, and deterministic content
+// generators.
+//
+// Every page in the simulator is backed by real bytes. Components fill pages
+// with bytes derived deterministically from logical identity (a class name,
+// a file path, a per-process randomization seed), so that two pages end up
+// byte-identical exactly when the simulated system would have produced
+// identical pages — content identity is emergent, never asserted. That is
+// the property the paper's Transparent Page Sharing analysis rests on.
+package mem
+
+// Seed is a 64-bit value that deterministically identifies a piece of
+// logical content. Seeds are combined with SplitMix64-style mixing so that
+// related identities (same class, different process) produce unrelated byte
+// streams.
+type Seed uint64
+
+// Mix advances a seed through the SplitMix64 finalizer. It is the core
+// primitive behind all deterministic content in the simulator.
+func Mix(x Seed) Seed {
+	z := uint64(x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return Seed(z ^ (z >> 31))
+}
+
+// Combine folds any number of seeds into one. Order matters:
+// Combine(a, b) != Combine(b, a) in general.
+func Combine(seeds ...Seed) Seed {
+	var acc Seed = 0x243f6a8885a308d3 // pi, for want of anything better
+	for _, s := range seeds {
+		acc = Mix(acc ^ s)
+	}
+	return acc
+}
+
+// HashString hashes a string into a Seed using FNV-1a.
+func HashString(s string) Seed {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return Seed(h)
+}
+
+// Fill writes a deterministic byte stream derived from seed into dst. The
+// stream is a xorshift64* generator; the same (seed, len) always produces
+// the same bytes, and different seeds produce streams that share no long
+// common runs, so accidental page-content collisions do not happen.
+func Fill(dst []byte, seed Seed) {
+	s := uint64(Mix(seed))
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	i := 0
+	for i+8 <= len(dst) {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		v := s * 0x2545f4914f6cdd1d
+		dst[i] = byte(v)
+		dst[i+1] = byte(v >> 8)
+		dst[i+2] = byte(v >> 16)
+		dst[i+3] = byte(v >> 24)
+		dst[i+4] = byte(v >> 32)
+		dst[i+5] = byte(v >> 40)
+		dst[i+6] = byte(v >> 48)
+		dst[i+7] = byte(v >> 56)
+		i += 8
+	}
+	if i < len(dst) {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		v := s * 0x2545f4914f6cdd1d
+		for ; i < len(dst); i++ {
+			dst[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// FillBytes allocates and fills a fresh deterministic buffer.
+func FillBytes(n int, seed Seed) []byte {
+	b := make([]byte, n)
+	Fill(b, seed)
+	return b
+}
+
+// ChecksumBytes computes the FNV-1a checksum of a byte slice. KSM uses this
+// as its volatility gate: a page whose checksum changed between scan passes
+// is considered too volatile to merge.
+func ChecksumBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,110 @@
+package mem
+
+import "sort"
+
+// VPN is a virtual page number: a virtual address divided by the page size.
+// The same type serves every translation layer (guest-virtual, guest-
+// physical, host-virtual), because each layer is just a sparse mapping from
+// page numbers to the next layer down.
+type VPN uint64
+
+// PTE is a page-table entry. A PTE exists in a PageTable only when the page
+// is present (mapped to a frame) or swapped out (content lives in a swap
+// slot); unmapped pages simply have no entry.
+type PTE struct {
+	Frame    FrameID
+	Writable bool
+	// COW marks a write-protected shared mapping: the next write must
+	// allocate a private copy. Both KSM merging and fork-style sharing set
+	// it.
+	COW bool
+	// Swapped marks an entry whose content has been written to swap;
+	// Frame is NilFrame and SwapSlot identifies the swap page.
+	Swapped  bool
+	SwapSlot uint32
+	// LastUse is a virtual timestamp (simclock microseconds) of the most
+	// recent access, maintained by the hypervisor for LRU eviction.
+	LastUse int64
+	// Accessed is the referenced bit of the second-chance (clock)
+	// replacement policy: set on every touch, cleared when the clock hand
+	// passes.
+	Accessed bool
+}
+
+// PageTable is a sparse mapping from virtual page numbers to PTEs.
+//
+// Iteration over the underlying map is randomized by the runtime, so any
+// code that needs determinism must use SortedVPNs or RangeSorted. Linear
+// scans (KSM, the analyzer) walk explicit address ranges instead and are
+// deterministic by construction.
+type PageTable struct {
+	entries map[VPN]PTE
+}
+
+// NewPageTable returns an empty table.
+func NewPageTable() *PageTable {
+	return &PageTable{entries: make(map[VPN]PTE)}
+}
+
+// Len reports the number of entries (present + swapped).
+func (pt *PageTable) Len() int { return len(pt.entries) }
+
+// Lookup fetches the entry for vpn.
+func (pt *PageTable) Lookup(vpn VPN) (PTE, bool) {
+	e, ok := pt.entries[vpn]
+	return e, ok
+}
+
+// Set installs or replaces the entry for vpn.
+func (pt *PageTable) Set(vpn VPN, e PTE) {
+	pt.entries[vpn] = e
+}
+
+// Delete removes the entry for vpn, reporting whether it existed.
+func (pt *PageTable) Delete(vpn VPN) (PTE, bool) {
+	e, ok := pt.entries[vpn]
+	if ok {
+		delete(pt.entries, vpn)
+	}
+	return e, ok
+}
+
+// Range calls fn for every entry in unspecified order, stopping early if fn
+// returns false. Use only for order-insensitive aggregation.
+func (pt *PageTable) Range(fn func(vpn VPN, e PTE) bool) {
+	for vpn, e := range pt.entries {
+		if !fn(vpn, e) {
+			return
+		}
+	}
+}
+
+// SortedVPNs returns all mapped page numbers in ascending order.
+func (pt *PageTable) SortedVPNs() []VPN {
+	vpns := make([]VPN, 0, len(pt.entries))
+	for vpn := range pt.entries {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	return vpns
+}
+
+// RangeSorted calls fn for every entry in ascending VPN order.
+func (pt *PageTable) RangeSorted(fn func(vpn VPN, e PTE) bool) {
+	for _, vpn := range pt.SortedVPNs() {
+		if !fn(vpn, pt.entries[vpn]) {
+			return
+		}
+	}
+}
+
+// PresentCount reports how many entries are resident (not swapped).
+func (pt *PageTable) PresentCount() int {
+	n := 0
+	for _, e := range pt.entries {
+		if !e.Swapped {
+			n++
+		}
+	}
+	return n
+}

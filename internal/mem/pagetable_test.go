@@ -1,0 +1,92 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageTableSetLookupDelete(t *testing.T) {
+	pt := NewPageTable()
+	if _, ok := pt.Lookup(5); ok {
+		t.Fatal("lookup on empty table succeeded")
+	}
+	pt.Set(5, PTE{Frame: 42, Writable: true})
+	e, ok := pt.Lookup(5)
+	if !ok || e.Frame != 42 || !e.Writable {
+		t.Fatalf("lookup = %+v ok=%v", e, ok)
+	}
+	if pt.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", pt.Len())
+	}
+	old, ok := pt.Delete(5)
+	if !ok || old.Frame != 42 {
+		t.Fatalf("delete = %+v ok=%v", old, ok)
+	}
+	if _, ok := pt.Delete(5); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestSortedVPNsAscending(t *testing.T) {
+	pt := NewPageTable()
+	for _, v := range []VPN{9, 1, 7, 3, 5} {
+		pt.Set(v, PTE{Frame: FrameID(v)})
+	}
+	vpns := pt.SortedVPNs()
+	for i := 1; i < len(vpns); i++ {
+		if vpns[i] <= vpns[i-1] {
+			t.Fatalf("not ascending: %v", vpns)
+		}
+	}
+	if len(vpns) != 5 {
+		t.Fatalf("len = %d, want 5", len(vpns))
+	}
+}
+
+func TestRangeSortedEarlyStop(t *testing.T) {
+	pt := NewPageTable()
+	for v := VPN(0); v < 10; v++ {
+		pt.Set(v, PTE{})
+	}
+	n := 0
+	pt.RangeSorted(func(vpn VPN, _ PTE) bool {
+		n++
+		return vpn < 4 // stop after visiting vpn 4
+	})
+	if n != 5 {
+		t.Fatalf("visited %d entries, want 5", n)
+	}
+}
+
+func TestPresentCount(t *testing.T) {
+	pt := NewPageTable()
+	pt.Set(1, PTE{Frame: 1})
+	pt.Set(2, PTE{Swapped: true, Frame: NilFrame})
+	pt.Set(3, PTE{Frame: 3})
+	if got := pt.PresentCount(); got != 2 {
+		t.Fatalf("PresentCount = %d, want 2", got)
+	}
+}
+
+func TestPropertySetLookupRoundTrip(t *testing.T) {
+	f := func(vpns []uint32) bool {
+		pt := NewPageTable()
+		seen := map[VPN]bool{}
+		for i, v := range vpns {
+			pt.Set(VPN(v), PTE{Frame: FrameID(i)})
+			seen[VPN(v)] = true
+		}
+		if pt.Len() != len(seen) {
+			return false
+		}
+		for v := range seen {
+			if _, ok := pt.Lookup(v); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

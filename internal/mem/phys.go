@@ -1,0 +1,330 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// DefaultPageSize is the page size used throughout the simulator. It matches
+// the 4 KiB base pages of the paper's x86 and POWER measurement platforms.
+const DefaultPageSize = 4096
+
+// FrameID names a host physical page frame. NilFrame is the zero-value
+// sentinel for "no frame".
+type FrameID uint32
+
+// NilFrame is an invalid frame id; page-table entries that are not present
+// carry it.
+const NilFrame FrameID = ^FrameID(0)
+
+// ErrOutOfMemory is returned by Alloc when every frame is in use. The
+// hypervisor turns this condition into swapping.
+var ErrOutOfMemory = errors.New("mem: out of physical memory")
+
+// frame is a single physical page. A nil data slice means the page is
+// all-zero; the backing bytes are materialized lazily on first write, so an
+// untouched guest costs almost nothing.
+type frame struct {
+	data   []byte
+	refcnt int32
+	ksm    bool // frame is a KSM stable-tree page (write-protected, shared)
+	// sum caches the FNV-1a checksum of data; invalidated on every write.
+	// KSM's volatility gate checksums every scanned page each pass, and the
+	// cache makes re-scanning untouched pages O(1).
+	sum      uint64
+	sumValid bool
+}
+
+// PhysMem is a pool of physical page frames with reference counting.
+//
+// The pool is intentionally not safe for concurrent use: the simulator is
+// single-threaded (see simclock) so that runs are reproducible.
+type PhysMem struct {
+	pageSize int
+	frames   []frame
+	free     []FrameID
+	inUse    int
+
+	zero []byte // canonical zero page for comparisons
+
+	// Statistics.
+	allocs      uint64
+	frees       uint64
+	materalized uint64
+}
+
+// NewPhysMem creates a pool holding totalBytes of physical memory divided
+// into pages of pageSize bytes. totalBytes is rounded down to a whole number
+// of pages; at least one page is required.
+func NewPhysMem(totalBytes int64, pageSize int) *PhysMem {
+	if pageSize <= 0 || pageSize%8 != 0 {
+		panic(fmt.Sprintf("mem: invalid page size %d", pageSize))
+	}
+	n := totalBytes / int64(pageSize)
+	if n < 1 {
+		panic(fmt.Sprintf("mem: total %d smaller than one page", totalBytes))
+	}
+	pm := &PhysMem{
+		pageSize: pageSize,
+		frames:   make([]frame, n),
+		free:     make([]FrameID, 0, n),
+		zero:     make([]byte, pageSize),
+	}
+	// Push frames so that low frame numbers are handed out first; this keeps
+	// frame assignment deterministic and debuggable.
+	for i := int64(n) - 1; i >= 0; i-- {
+		pm.free = append(pm.free, FrameID(i))
+	}
+	return pm
+}
+
+// PageSize reports the page size in bytes.
+func (pm *PhysMem) PageSize() int { return pm.pageSize }
+
+// TotalFrames reports the number of frames in the pool.
+func (pm *PhysMem) TotalFrames() int { return len(pm.frames) }
+
+// FramesInUse reports how many frames are currently allocated.
+func (pm *PhysMem) FramesInUse() int { return pm.inUse }
+
+// FreeFrames reports how many frames are available.
+func (pm *PhysMem) FreeFrames() int { return len(pm.free) }
+
+// BytesInUse reports allocated physical memory in bytes.
+func (pm *PhysMem) BytesInUse() int64 { return int64(pm.inUse) * int64(pm.pageSize) }
+
+// Alloc hands out a zeroed frame with refcount 1.
+func (pm *PhysMem) Alloc() (FrameID, error) {
+	if len(pm.free) == 0 {
+		return NilFrame, ErrOutOfMemory
+	}
+	id := pm.free[len(pm.free)-1]
+	pm.free = pm.free[:len(pm.free)-1]
+	f := &pm.frames[id]
+	f.data = nil
+	f.refcnt = 1
+	f.ksm = false
+	f.sumValid = false
+	pm.inUse++
+	pm.allocs++
+	return id, nil
+}
+
+func (pm *PhysMem) frameAt(id FrameID) *frame {
+	if int(id) >= len(pm.frames) {
+		panic(fmt.Sprintf("mem: frame %d out of range", id))
+	}
+	f := &pm.frames[id]
+	if f.refcnt <= 0 {
+		panic(fmt.Sprintf("mem: use of free frame %d", id))
+	}
+	return f
+}
+
+// IncRef adds a reference to a live frame (used when a page becomes shared).
+func (pm *PhysMem) IncRef(id FrameID) {
+	pm.frameAt(id).refcnt++
+}
+
+// RefCount reports the current reference count of a live frame.
+func (pm *PhysMem) RefCount(id FrameID) int {
+	return int(pm.frameAt(id).refcnt)
+}
+
+// DecRef drops a reference; the frame returns to the free list when the
+// count reaches zero.
+func (pm *PhysMem) DecRef(id FrameID) {
+	f := pm.frameAt(id)
+	f.refcnt--
+	if f.refcnt == 0 {
+		f.data = nil
+		f.ksm = false
+		pm.free = append(pm.free, id)
+		pm.inUse--
+		pm.frees++
+	}
+}
+
+// SetKSM marks or clears the frame's KSM stable-page flag. KSM stable pages
+// are shared copy-on-write; the flag lets the analyzer attribute savings.
+func (pm *PhysMem) SetKSM(id FrameID, v bool) {
+	pm.frameAt(id).ksm = v
+}
+
+// IsKSM reports whether the frame is a KSM stable page.
+func (pm *PhysMem) IsKSM(id FrameID) bool { return pm.frameAt(id).ksm }
+
+// Bytes returns a read-only view of the frame contents. All-zero frames
+// return the canonical zero page; callers must not mutate the result.
+func (pm *PhysMem) Bytes(id FrameID) []byte {
+	f := pm.frameAt(id)
+	if f.data == nil {
+		return pm.zero
+	}
+	return f.data
+}
+
+// IsZero reports whether the frame content is all zero bytes. Lazily
+// materialized frames answer without scanning.
+func (pm *PhysMem) IsZero(id FrameID) bool {
+	f := pm.frameAt(id)
+	if f.data == nil {
+		return true
+	}
+	for _, b := range f.data {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Write copies data into the frame at the given offset, materializing the
+// backing bytes if needed. Writing to a KSM stable page is a bug in the
+// caller (the hypervisor must break COW first) and panics.
+func (pm *PhysMem) Write(id FrameID, off int, data []byte) {
+	f := pm.frameAt(id)
+	if f.ksm {
+		panic(fmt.Sprintf("mem: direct write to KSM stable frame %d", id))
+	}
+	if off < 0 || off+len(data) > pm.pageSize {
+		panic(fmt.Sprintf("mem: write [%d,%d) outside page of %d bytes", off, off+len(data), pm.pageSize))
+	}
+	if f.data == nil {
+		allZero := true
+		for _, b := range data {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return // zero write to a zero page is a no-op
+		}
+		f.data = make([]byte, pm.pageSize)
+		pm.materalized++
+	}
+	copy(f.data[off:], data)
+	f.sumValid = false
+}
+
+// FillFrame overwrites the whole frame with a deterministic byte stream.
+func (pm *PhysMem) FillFrame(id FrameID, seed Seed) {
+	f := pm.frameAt(id)
+	if f.ksm {
+		panic(fmt.Sprintf("mem: direct fill of KSM stable frame %d", id))
+	}
+	if f.data == nil {
+		f.data = make([]byte, pm.pageSize)
+		pm.materalized++
+	}
+	Fill(f.data, seed)
+	f.sumValid = false
+}
+
+// ZeroFrame resets the frame to the canonical zero page (dropping the
+// backing bytes). GC uses this when it sweeps free regions.
+func (pm *PhysMem) ZeroFrame(id FrameID) {
+	f := pm.frameAt(id)
+	if f.ksm {
+		panic(fmt.Sprintf("mem: direct zero of KSM stable frame %d", id))
+	}
+	f.data = nil
+	f.sumValid = false
+}
+
+// CopyFrame copies src's content into dst (used by COW breaks and swap-in).
+func (pm *PhysMem) CopyFrame(dst, src FrameID) {
+	if dst == src {
+		return
+	}
+	sf := pm.frameAt(src)
+	df := pm.frameAt(dst)
+	if df.ksm {
+		panic(fmt.Sprintf("mem: copy into KSM stable frame %d", dst))
+	}
+	df.sumValid = false
+	if sf.data == nil {
+		df.data = nil
+		return
+	}
+	if df.data == nil {
+		df.data = make([]byte, pm.pageSize)
+		pm.materalized++
+	}
+	copy(df.data, sf.data)
+}
+
+// Equal reports whether two frames have byte-identical contents.
+func (pm *PhysMem) Equal(a, b FrameID) bool {
+	if a == b {
+		return true
+	}
+	fa, fb := pm.frameAt(a), pm.frameAt(b)
+	switch {
+	case fa.data == nil && fb.data == nil:
+		return true
+	case fa.data == nil:
+		return pm.IsZero(b)
+	case fb.data == nil:
+		return pm.IsZero(a)
+	}
+	return bytes.Equal(fa.data, fb.data)
+}
+
+// Compare orders two frames by lexicographic byte comparison; the KSM
+// stable and unstable trees use it as their key order.
+func (pm *PhysMem) Compare(a, b FrameID) int {
+	if a == b {
+		return 0
+	}
+	return bytes.Compare(pm.Bytes(a), pm.Bytes(b))
+}
+
+// Checksum computes the FNV-1a checksum of the frame contents, cached
+// until the next write.
+func (pm *PhysMem) Checksum(id FrameID) uint64 {
+	f := pm.frameAt(id)
+	if f.sumValid {
+		return f.sum
+	}
+	if f.data == nil {
+		f.sum = zeroChecksumFor(pm.pageSize)
+	} else {
+		f.sum = ChecksumBytes(f.data)
+	}
+	f.sumValid = true
+	return f.sum
+}
+
+var zeroChecksums = map[int]uint64{}
+
+func zeroChecksumFor(pageSize int) uint64 {
+	if v, ok := zeroChecksums[pageSize]; ok {
+		return v
+	}
+	v := ChecksumBytes(make([]byte, pageSize))
+	zeroChecksums[pageSize] = v
+	return v
+}
+
+// Stats reports cumulative allocator statistics.
+type Stats struct {
+	Allocs       uint64
+	Frees        uint64
+	Materialized uint64
+	InUse        int
+	Free         int
+}
+
+// Stats returns a snapshot of allocator counters.
+func (pm *PhysMem) Stats() Stats {
+	return Stats{
+		Allocs:       pm.allocs,
+		Frees:        pm.frees,
+		Materialized: pm.materalized,
+		InUse:        pm.inUse,
+		Free:         len(pm.free),
+	}
+}

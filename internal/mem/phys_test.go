@@ -1,0 +1,268 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newPool(t *testing.T, pages int) *PhysMem {
+	t.Helper()
+	return NewPhysMem(int64(pages)*DefaultPageSize, DefaultPageSize)
+}
+
+func TestAllocFreeCycle(t *testing.T) {
+	pm := newPool(t, 4)
+	var ids []FrameID
+	for i := 0; i < 4; i++ {
+		id, err := pm.Alloc()
+		if err != nil {
+			t.Fatalf("Alloc #%d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := pm.Alloc(); err != ErrOutOfMemory {
+		t.Fatalf("Alloc on full pool: err = %v, want ErrOutOfMemory", err)
+	}
+	if pm.FramesInUse() != 4 || pm.FreeFrames() != 0 {
+		t.Fatalf("in use %d free %d, want 4/0", pm.FramesInUse(), pm.FreeFrames())
+	}
+	for _, id := range ids {
+		pm.DecRef(id)
+	}
+	if pm.FramesInUse() != 0 || pm.FreeFrames() != 4 {
+		t.Fatalf("after free: in use %d free %d, want 0/4", pm.FramesInUse(), pm.FreeFrames())
+	}
+}
+
+func TestAllocDeterministicOrder(t *testing.T) {
+	pm := newPool(t, 3)
+	a, _ := pm.Alloc()
+	b, _ := pm.Alloc()
+	c, _ := pm.Alloc()
+	if a != 0 || b != 1 || c != 2 {
+		t.Fatalf("alloc order = %d,%d,%d, want 0,1,2", a, b, c)
+	}
+}
+
+func TestFreshFrameIsZero(t *testing.T) {
+	pm := newPool(t, 2)
+	id, _ := pm.Alloc()
+	if !pm.IsZero(id) {
+		t.Fatal("fresh frame not zero")
+	}
+	for _, b := range pm.Bytes(id) {
+		if b != 0 {
+			t.Fatal("fresh frame bytes not zero")
+		}
+	}
+}
+
+func TestWriteMaterializesAndReads(t *testing.T) {
+	pm := newPool(t, 2)
+	id, _ := pm.Alloc()
+	pm.Write(id, 100, []byte{1, 2, 3})
+	b := pm.Bytes(id)
+	if b[100] != 1 || b[101] != 2 || b[102] != 3 {
+		t.Fatalf("bytes at 100 = %v", b[100:103])
+	}
+	if pm.IsZero(id) {
+		t.Fatal("written frame reported zero")
+	}
+}
+
+func TestZeroWriteToZeroPageStaysLazy(t *testing.T) {
+	pm := newPool(t, 2)
+	id, _ := pm.Alloc()
+	pm.Write(id, 0, make([]byte, 64))
+	if pm.Stats().Materialized != 0 {
+		t.Fatal("zero write materialized the page")
+	}
+	if !pm.IsZero(id) {
+		t.Fatal("frame no longer zero after zero write")
+	}
+}
+
+func TestRefcountSharing(t *testing.T) {
+	pm := newPool(t, 2)
+	id, _ := pm.Alloc()
+	pm.IncRef(id)
+	pm.IncRef(id)
+	if got := pm.RefCount(id); got != 3 {
+		t.Fatalf("RefCount = %d, want 3", got)
+	}
+	pm.DecRef(id)
+	pm.DecRef(id)
+	if pm.FramesInUse() != 1 {
+		t.Fatal("frame freed while references remain")
+	}
+	pm.DecRef(id)
+	if pm.FramesInUse() != 0 {
+		t.Fatal("frame not freed at refcount 0")
+	}
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	pm := newPool(t, 2)
+	id, _ := pm.Alloc()
+	pm.DecRef(id)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes on freed frame did not panic")
+		}
+	}()
+	pm.Bytes(id)
+}
+
+func TestKSMFrameWriteProtected(t *testing.T) {
+	pm := newPool(t, 2)
+	id, _ := pm.Alloc()
+	pm.SetKSM(id, true)
+	if !pm.IsKSM(id) {
+		t.Fatal("IsKSM false after SetKSM")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write to KSM stable frame did not panic")
+		}
+	}()
+	pm.Write(id, 0, []byte{1})
+}
+
+func TestEqualAndCompare(t *testing.T) {
+	pm := newPool(t, 4)
+	a, _ := pm.Alloc()
+	b, _ := pm.Alloc()
+	c, _ := pm.Alloc()
+	if !pm.Equal(a, b) {
+		t.Fatal("two zero frames not equal")
+	}
+	pm.FillFrame(a, 42)
+	pm.FillFrame(b, 42)
+	pm.FillFrame(c, 43)
+	if !pm.Equal(a, b) {
+		t.Fatal("same-seed frames not equal")
+	}
+	if pm.Equal(a, c) {
+		t.Fatal("different-seed frames equal")
+	}
+	if pm.Compare(a, b) != 0 {
+		t.Fatal("Compare(a,b) != 0 for equal frames")
+	}
+	if x, y := pm.Compare(a, c), pm.Compare(c, a); x == 0 || y == 0 || (x < 0) == (y < 0) {
+		t.Fatalf("Compare not antisymmetric: %d vs %d", x, y)
+	}
+}
+
+func TestEqualZeroVsMaterializedZero(t *testing.T) {
+	pm := newPool(t, 2)
+	a, _ := pm.Alloc()
+	b, _ := pm.Alloc()
+	pm.Write(b, 0, []byte{7}) // materialize
+	pm.Write(b, 0, []byte{0}) // back to all-zero content, still materialized
+	if !pm.Equal(a, b) || !pm.Equal(b, a) {
+		t.Fatal("lazy zero and materialized zero not equal")
+	}
+}
+
+func TestChecksumMatchesContent(t *testing.T) {
+	pm := newPool(t, 3)
+	a, _ := pm.Alloc()
+	b, _ := pm.Alloc()
+	pm.FillFrame(a, 7)
+	pm.FillFrame(b, 7)
+	if pm.Checksum(a) != pm.Checksum(b) {
+		t.Fatal("equal content, different checksums")
+	}
+	z, _ := pm.Alloc()
+	if pm.Checksum(z) != ChecksumBytes(make([]byte, DefaultPageSize)) {
+		t.Fatal("zero page checksum mismatch")
+	}
+}
+
+func TestCopyFrame(t *testing.T) {
+	pm := newPool(t, 3)
+	a, _ := pm.Alloc()
+	b, _ := pm.Alloc()
+	pm.FillFrame(a, 99)
+	pm.CopyFrame(b, a)
+	if !pm.Equal(a, b) {
+		t.Fatal("copy not equal to source")
+	}
+	// Copy of a lazy zero page drops the destination's bytes.
+	z, _ := pm.Alloc()
+	pm.CopyFrame(b, z)
+	if !pm.IsZero(b) {
+		t.Fatal("copy of zero page did not zero destination")
+	}
+}
+
+func TestZeroFrameResets(t *testing.T) {
+	pm := newPool(t, 2)
+	a, _ := pm.Alloc()
+	pm.FillFrame(a, 5)
+	pm.ZeroFrame(a)
+	if !pm.IsZero(a) {
+		t.Fatal("ZeroFrame did not zero")
+	}
+}
+
+func TestPropertyFillDeterministic(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		size := int(n%2048) + 1
+		a := FillBytes(size, Seed(seed))
+		b := FillBytes(size, Seed(seed))
+		if len(a) != size {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDifferentSeedsDiffer(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		if s1 == s2 {
+			return true
+		}
+		a := FillBytes(256, Seed(s1))
+		b := FillBytes(256, Seed(s2))
+		same := 0
+		for i := range a {
+			if a[i] == b[i] {
+				same++
+			}
+		}
+		return same < len(a) // not byte-identical
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCombineOrderMatters(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return Combine(Seed(a), Seed(b)) != Combine(Seed(b), Seed(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("java/lang/Object") != HashString("java/lang/Object") {
+		t.Fatal("HashString not deterministic")
+	}
+	if HashString("a") == HashString("b") {
+		t.Fatal("trivial collision")
+	}
+}

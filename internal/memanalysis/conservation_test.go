@@ -1,0 +1,72 @@
+package memanalysis
+
+import (
+	"testing"
+
+	"repro/internal/jvm"
+)
+
+// Conservation laws of the attribution: whatever the sharing state, the
+// owner-oriented accounting must partition the attributed memory exactly.
+
+func TestVMBreakdownsPartitionTotal(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		c := buildCluster(t, 3, shared)
+		c.scan(3)
+		a := Analyze(c.host, c.kernels)
+		var sum int64
+		for _, b := range a.VMBreakdowns() {
+			sum += b.Total()
+		}
+		if sum != a.TotalGuestBytes() {
+			t.Fatalf("shared=%v: VM totals %d != attributed %d", shared, sum, a.TotalGuestBytes())
+		}
+	}
+}
+
+func TestOwnedPlusSharedEqualsMapped(t *testing.T) {
+	c := buildCluster(t, 3, true)
+	c.scan(3)
+	a := Analyze(c.host, c.kernels)
+	for _, jb := range a.JavaBreakdowns() {
+		for _, cat := range jvm.Categories() {
+			cu := jb.ByCat[cat]
+			if cu.OwnedBytes+cu.SharedBytes != cu.MappedBytes {
+				t.Fatalf("%s/%s: owned %d + shared %d != mapped %d",
+					jb.ProcName, cat, cu.OwnedBytes, cu.SharedBytes, cu.MappedBytes)
+			}
+			if cu.OwnedBytes < 0 || cu.SharedBytes < 0 {
+				t.Fatalf("negative accounting in %s/%s", jb.ProcName, cat)
+			}
+		}
+	}
+}
+
+func TestJavaOwnedMatchesVMAttribution(t *testing.T) {
+	// The Java bytes attributed at VM level must equal the sum of the Java
+	// processes' owned bytes in that VM.
+	c := buildCluster(t, 2, true)
+	c.scan(3)
+	a := Analyze(c.host, c.kernels)
+	javaOwned := map[int]int64{}
+	for _, jb := range a.JavaBreakdowns() {
+		for _, cu := range jb.ByCat {
+			javaOwned[jb.VMID] += cu.OwnedBytes
+		}
+	}
+	for _, b := range a.VMBreakdowns() {
+		if b.JavaBytes != javaOwned[b.VMID] {
+			t.Fatalf("VM %d: VM-level java %d != per-process owned %d", b.VMID, b.JavaBytes, javaOwned[b.VMID])
+		}
+	}
+}
+
+func TestAttributedNeverExceedsPhysical(t *testing.T) {
+	c := buildCluster(t, 3, true)
+	c.scan(3)
+	a := Analyze(c.host, c.kernels)
+	inUse := int64(c.host.Phys().FramesInUse()) * int64(c.host.PageSize())
+	if a.TotalGuestBytes() > inUse {
+		t.Fatalf("attributed %d > frames in use %d", a.TotalGuestBytes(), inUse)
+	}
+}

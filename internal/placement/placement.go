@@ -1,0 +1,201 @@
+// Package placement implements the Memory Buddies baseline (Wood et al.,
+// VEE '09), which the paper's related-work section discusses: instead of
+// making pages identical (the paper's technique), Memory Buddies *places*
+// VMs with similar memory content on the same host so that whatever
+// sharing potential exists is actually exploitable by TPS.
+//
+// As in the original system, each VM gets a content fingerprint — here the
+// set of page-content checksums of its guest memory after a solo warm-up
+// run — and a greedy packer collocates VMs with the largest fingerprint
+// intersections. The evaluation then builds one simulated host per bin and
+// measures the real TPS savings, so the comparison with round-robin
+// placement is end to end.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Fingerprint is a VM's memory-content summary: the set of page checksums,
+// as Memory Buddies' Bloom-filter fingerprints approximate.
+type Fingerprint map[uint64]struct{}
+
+// Similarity estimates the shareable pages between two VMs as the
+// fingerprint intersection size.
+func Similarity(a, b Fingerprint) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for h := range a {
+		if _, ok := b[h]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// FingerprintSpec runs one VM of the given workload solo (no KSM, ample
+// host memory) and fingerprints its guest memory.
+func FingerprintSpec(spec workload.Spec, shared bool, scale int, seed mem.Seed) Fingerprint {
+	c := core.BuildCluster(core.ClusterConfig{
+		Scale:         scale,
+		Specs:         []workload.Spec{spec},
+		NumVMs:        1,
+		SharedClasses: shared,
+		DisableKSM:    true,
+		BaseSeed:      seed,
+		SteadyRounds:  10,
+	})
+	c.Run()
+	fp := make(Fingerprint)
+	vm := c.Host.VMs()[0]
+	pm := c.Host.Phys()
+	for _, reg := range vm.MergeableRegions() {
+		for vpn := reg.Start; vpn < reg.End; vpn++ {
+			if f, ok := vm.ResolveResident(vpn); ok {
+				fp[pm.Checksum(f)] = struct{}{}
+			}
+		}
+	}
+	return fp
+}
+
+// Request is one VM to place.
+type Request struct {
+	Spec workload.Spec
+	// Fingerprint may be nil for round-robin placement.
+	Fingerprint Fingerprint
+}
+
+// Placement assigns request indices to hosts.
+type Placement [][]int
+
+// RoundRobin spreads requests evenly without looking at content.
+func RoundRobin(n, hosts int) Placement {
+	pl := make(Placement, hosts)
+	for i := 0; i < n; i++ {
+		pl[i%hosts] = append(pl[i%hosts], i)
+	}
+	return pl
+}
+
+// BySimilarity packs requests greedily: each host is seeded with the first
+// unplaced request and filled with the requests whose fingerprints overlap
+// the host's current content the most — Memory Buddies' smart colocation.
+func BySimilarity(reqs []Request, hosts, perHost int) Placement {
+	placed := make([]bool, len(reqs))
+	pl := make(Placement, hosts)
+	for h := 0; h < hosts; h++ {
+		// Seed with the first unplaced request.
+		seed := -1
+		for i := range reqs {
+			if !placed[i] {
+				seed = i
+				break
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		placed[seed] = true
+		pl[h] = append(pl[h], seed)
+		hostFP := cloneFP(reqs[seed].Fingerprint)
+		for len(pl[h]) < perHost {
+			best, bestSim := -1, -1
+			for i := range reqs {
+				if placed[i] {
+					continue
+				}
+				if s := Similarity(hostFP, reqs[i].Fingerprint); s > bestSim {
+					best, bestSim = i, s
+				}
+			}
+			if best < 0 {
+				break
+			}
+			placed[best] = true
+			pl[h] = append(pl[h], best)
+			for hsh := range reqs[best].Fingerprint {
+				hostFP[hsh] = struct{}{}
+			}
+		}
+	}
+	return pl
+}
+
+func cloneFP(fp Fingerprint) Fingerprint {
+	out := make(Fingerprint, len(fp))
+	for h := range fp {
+		out[h] = struct{}{}
+	}
+	return out
+}
+
+// HostResult is one host's measured memory outcome.
+type HostResult struct {
+	HostIndex  int
+	Workloads  []string
+	UsedMB     float64
+	SavedMB    float64
+	GuestCount int
+}
+
+// EvalResult is the end-to-end outcome of a placement.
+type EvalResult struct {
+	Hosts        []HostResult
+	TotalUsedMB  float64
+	TotalSavedMB float64
+}
+
+// Evaluate builds one simulated host per placement bin, runs it to steady
+// state with KSM, and measures real usage and savings.
+func Evaluate(reqs []Request, pl Placement, shared bool, scale int, seed mem.Seed) EvalResult {
+	var res EvalResult
+	for h, bin := range pl {
+		if len(bin) == 0 {
+			continue
+		}
+		specs := make([]workload.Spec, 0, len(bin))
+		names := make([]string, 0, len(bin))
+		for _, i := range bin {
+			specs = append(specs, reqs[i].Spec)
+			names = append(names, reqs[i].Spec.Name)
+		}
+		sort.Strings(names)
+		c := core.BuildCluster(core.ClusterConfig{
+			Scale:         scale,
+			Specs:         specs,
+			NumVMs:        len(specs),
+			SharedClasses: shared,
+			BaseSeed:      mem.Combine(seed, mem.Seed(h+1)),
+			SteadyRounds:  15,
+		})
+		c.Run()
+		a := c.Analyze()
+		hr := HostResult{HostIndex: h, Workloads: names, GuestCount: len(specs)}
+		for _, b := range a.VMBreakdowns() {
+			hr.UsedMB += float64(b.Total()*int64(scale)) / (1 << 20)
+			hr.SavedMB += float64(b.SavingsBytes*int64(scale)) / (1 << 20)
+		}
+		res.Hosts = append(res.Hosts, hr)
+		res.TotalUsedMB += hr.UsedMB
+		res.TotalSavedMB += hr.SavedMB
+	}
+	return res
+}
+
+// String renders the result compactly.
+func (r EvalResult) String() string {
+	s := ""
+	for _, h := range r.Hosts {
+		s += fmt.Sprintf("host %d: %v — used %.0f MB, TPS saved %.0f MB\n", h.HostIndex, h.Workloads, h.UsedMB, h.SavedMB)
+	}
+	s += fmt.Sprintf("TOTAL used %.0f MB, saved %.0f MB\n", r.TotalUsedMB, r.TotalSavedMB)
+	return s
+}

@@ -1,0 +1,225 @@
+package powervm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/guestos"
+	"repro/internal/mem"
+	"repro/internal/simclock"
+)
+
+const pg = mem.DefaultPageSize
+
+func newMachine(t *testing.T, ramPages int) *Machine {
+	t.Helper()
+	return New(Config{Name: "PS701", RAMBytes: int64(ramPages) * pg}, simclock.New())
+}
+
+func TestLPARDemandPaging(t *testing.T) {
+	m := newMachine(t, 128)
+	lp := m.NewLPAR(LPARConfig{Name: "aix1", GuestMemBytes: 32 * pg, Seed: 1})
+	if m.PhysicalInUse() != 0 {
+		t.Fatal("eager allocation")
+	}
+	lp.FillGuestPage(3, 42)
+	if m.PhysicalInUse() != pg {
+		t.Fatalf("in use = %d", m.PhysicalInUse())
+	}
+	want := mem.FillBytes(pg, 42)
+	got := lp.ReadGuestPage(3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("content mismatch")
+		}
+	}
+}
+
+func TestSharePassMergesIdenticalPages(t *testing.T) {
+	m := newMachine(t, 256)
+	lp1 := m.NewLPAR(LPARConfig{Name: "aix1", GuestMemBytes: 32 * pg, Seed: 1})
+	lp2 := m.NewLPAR(LPARConfig{Name: "aix2", GuestMemBytes: 32 * pg, Seed: 2})
+	for i := uint64(0); i < 8; i++ {
+		lp1.FillGuestPage(i, mem.Seed(100+i))
+		lp2.FillGuestPage(i, mem.Seed(100+i))
+	}
+	before := m.PhysicalInUse()
+	m.SharePass() // records checksums (volatility gate)
+	m.SharePass() // merges
+	after := m.PhysicalInUse()
+	if want := before - 8*pg; after != want {
+		t.Fatalf("after sharing = %d, want %d", after, want)
+	}
+	if m.Stats().PagesMerged != 8 {
+		t.Fatalf("merged = %d", m.Stats().PagesMerged)
+	}
+	if m.Stats().SharedFrames != 8 {
+		t.Fatalf("shared frames = %d", m.Stats().SharedFrames)
+	}
+}
+
+func TestSharePassThreeWay(t *testing.T) {
+	m := newMachine(t, 256)
+	var lps []*LPAR
+	for i := 0; i < 3; i++ {
+		lps = append(lps, m.NewLPAR(LPARConfig{Name: "aix", GuestMemBytes: 16 * pg, Seed: mem.Seed(i + 1)}))
+	}
+	for _, lp := range lps {
+		lp.FillGuestPage(0, 7)
+	}
+	m.SharePass()
+	m.SharePass()
+	// 3 copies collapse to 1: two pages saved.
+	if m.PhysicalInUse() != pg {
+		t.Fatalf("in use = %d, want one page", m.PhysicalInUse())
+	}
+}
+
+func TestCOWBreakAfterSharing(t *testing.T) {
+	m := newMachine(t, 256)
+	lp1 := m.NewLPAR(LPARConfig{Name: "a", GuestMemBytes: 16 * pg, Seed: 1})
+	lp2 := m.NewLPAR(LPARConfig{Name: "b", GuestMemBytes: 16 * pg, Seed: 2})
+	lp1.FillGuestPage(0, 7)
+	lp2.FillGuestPage(0, 7)
+	m.SharePass()
+	m.SharePass()
+	lp2.WriteGuestPage(0, 0, []byte{9})
+	if m.Stats().COWBreaks != 1 {
+		t.Fatalf("COW breaks = %d", m.Stats().COWBreaks)
+	}
+	b1 := lp1.ReadGuestPage(0)
+	b2 := lp2.ReadGuestPage(0)
+	if b1[0] == b2[0] {
+		t.Fatal("write leaked through sharing")
+	}
+}
+
+func TestDedicatedLPARNeverShares(t *testing.T) {
+	m := newMachine(t, 256)
+	lp1 := m.NewLPAR(LPARConfig{Name: "a", GuestMemBytes: 16 * pg, Seed: 1})
+	lp2 := m.NewLPAR(LPARConfig{Name: "b", GuestMemBytes: 16 * pg, Dedicated: true, Seed: 2})
+	lp1.FillGuestPage(0, 7)
+	lp2.FillGuestPage(0, 7)
+	m.SharePass()
+	m.SharePass()
+	if m.Stats().PagesMerged != 0 {
+		t.Fatal("dedicated LPAR pages were merged")
+	}
+	if m.PhysicalInUse() != 2*pg {
+		t.Fatalf("in use = %d", m.PhysicalInUse())
+	}
+}
+
+func TestGuestOSBootsOnLPAR(t *testing.T) {
+	m := newMachine(t, 1024)
+	lp := m.NewLPAR(LPARConfig{Name: "aix1", GuestMemBytes: 256 * pg, Seed: 1})
+	k := guestos.Boot(lp, guestos.KernelConfig{Version: "AIX-6.1-TL6", TextBytes: 8 * pg, DataBytes: 4 * pg})
+	p := k.Spawn("java", true)
+	v := p.MapAnon(8, "heap", "h")
+	p.TouchAll(v, true)
+	if k.UsedGuestPages() == 0 {
+		t.Fatal("guest OS did not boot on the LPAR")
+	}
+	// Identical kernels on two LPARs share after a pass.
+	lp2 := m.NewLPAR(LPARConfig{Name: "aix2", GuestMemBytes: 256 * pg, Seed: 2})
+	guestos.Boot(lp2, guestos.KernelConfig{Version: "AIX-6.1-TL6", TextBytes: 8 * pg, DataBytes: 4 * pg})
+	m.SharePass()
+	m.SharePass()
+	if m.Stats().PagesMerged < 8 {
+		t.Fatalf("kernel text not shared across LPARs: merged %d", m.Stats().PagesMerged)
+	}
+}
+
+func TestReleaseGuestPage(t *testing.T) {
+	m := newMachine(t, 128)
+	lp := m.NewLPAR(LPARConfig{Name: "a", GuestMemBytes: 16 * pg, Seed: 1})
+	lp.FillGuestPage(0, 5)
+	lp.ReleaseGuestPage(0)
+	if m.PhysicalInUse() != 0 {
+		t.Fatal("release did not free")
+	}
+}
+
+func TestSharePassIdempotent(t *testing.T) {
+	m := newMachine(t, 256)
+	lp1 := m.NewLPAR(LPARConfig{Name: "a", GuestMemBytes: 16 * pg, Seed: 1})
+	lp2 := m.NewLPAR(LPARConfig{Name: "b", GuestMemBytes: 16 * pg, Seed: 2})
+	for i := uint64(0); i < 4; i++ {
+		lp1.FillGuestPage(i, mem.Seed(i))
+		lp2.FillGuestPage(i, mem.Seed(i))
+	}
+	m.SharePass()
+	m.SharePass()
+	merged := m.Stats().PagesMerged
+	m.SharePass()
+	if m.Stats().PagesMerged != merged {
+		t.Fatalf("extra pass re-merged: %d -> %d", merged, m.Stats().PagesMerged)
+	}
+}
+
+func TestVolatilityGateSkipsChangingPages(t *testing.T) {
+	m := newMachine(t, 256)
+	lp1 := m.NewLPAR(LPARConfig{Name: "a", GuestMemBytes: 16 * pg, Seed: 1})
+	lp2 := m.NewLPAR(LPARConfig{Name: "b", GuestMemBytes: 16 * pg, Seed: 2})
+	for pass := 0; pass < 4; pass++ {
+		lp1.FillGuestPage(0, mem.Seed(pass))
+		lp2.FillGuestPage(0, mem.Seed(pass))
+		m.SharePass()
+	}
+	if m.Stats().PagesMerged != 0 {
+		t.Fatal("volatile pages were merged")
+	}
+	if m.Stats().ChecksumSkips == 0 {
+		t.Fatal("gate never fired")
+	}
+}
+
+// Property: share passes conserve frame accounting (in use + free == total)
+// and never lose page content.
+func TestPropertySharePassConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := New(Config{Name: "p", RAMBytes: 1024 * pg}, simclock.New())
+		lp1 := m.NewLPAR(LPARConfig{Name: "a", GuestMemBytes: 32 * pg, Seed: 1})
+		lp2 := m.NewLPAR(LPARConfig{Name: "b", GuestMemBytes: 32 * pg, Seed: 2})
+		lps := []*LPAR{lp1, lp2}
+		content := map[[2]int]mem.Seed{}
+		for i, op := range ops {
+			lp := lps[int(op)%2]
+			gpfn := uint64(op>>1) % 16
+			switch (int(op) + i) % 3 {
+			case 0:
+				// Convergent content.
+				s := mem.Seed(1000 + gpfn)
+				lp.FillGuestPage(gpfn, s)
+				content[[2]int{int(op) % 2, int(gpfn)}] = s
+			case 1:
+				// Divergent content.
+				s := mem.Combine(mem.Seed(op), mem.Seed(i))
+				lp.FillGuestPage(gpfn, s)
+				content[[2]int{int(op) % 2, int(gpfn)}] = s
+			case 2:
+				m.SharePass()
+			}
+		}
+		m.SharePass()
+		m.SharePass()
+		pm := m.Phys()
+		if pm.FramesInUse()+pm.FreeFrames() != pm.TotalFrames() {
+			return false
+		}
+		// Every page still reads back its last written content.
+		for key, seed := range content {
+			got := lps[key[0]].ReadGuestPage(uint64(key[1]))
+			want := mem.FillBytes(pg, seed)
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package report renders experiment results as aligned ASCII tables, bar
+// charts and CSV — the textual equivalents of the paper's figures that
+// cmd/tpsim and the benchmark harness print.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells (stringifying each).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes around cells
+// containing commas).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// MB formats bytes as whole megabytes.
+func MB(bytes int64) string {
+	return fmt.Sprintf("%.0f", float64(bytes)/(1<<20))
+}
+
+// MB1 formats bytes as megabytes with one decimal.
+func MB1(bytes int64) string {
+	return fmt.Sprintf("%.1f", float64(bytes)/(1<<20))
+}
+
+// HBar renders value/max as a fixed-width horizontal bar.
+func HBar(value, max float64, width int) string {
+	if max <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(value/max*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Segment is one labelled portion of a stacked bar.
+type Segment struct {
+	Label string
+	Value float64
+}
+
+// StackedBar renders a labelled stacked bar: each segment gets a character
+// proportional to its share, with a legend of exact values.
+func StackedBar(name string, segments []Segment, max float64, width int) string {
+	var total float64
+	for _, s := range segments {
+		total += s.Value
+	}
+	var bar strings.Builder
+	used := 0
+	glyphs := "#@%*+=o^"
+	for i, s := range segments {
+		n := 0
+		if max > 0 {
+			n = int(s.Value/max*float64(width) + 0.5)
+		}
+		if used+n > width {
+			n = width - used
+		}
+		bar.WriteString(strings.Repeat(string(glyphs[i%len(glyphs)]), n))
+		used += n
+	}
+	if used < width {
+		bar.WriteString(strings.Repeat(".", width-used))
+	}
+	parts := make([]string, 0, len(segments))
+	for i, s := range segments {
+		parts = append(parts, fmt.Sprintf("%c %s=%.1f", glyphs[i%len(glyphs)], s.Label, s.Value))
+	}
+	return fmt.Sprintf("%-10s |%s| total=%.1f  (%s)", name, bar.String(), total, strings.Join(parts, ", "))
+}
+
+// Series is one line of an X/Y chart (Fig. 7 / Fig. 8).
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// SeriesTable renders several series against shared X labels, with bars
+// scaled to the global maximum.
+func SeriesTable(title, xName string, xs []string, series []Series, unit string) string {
+	var max float64
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	t := &Table{Title: title}
+	t.Headers = []string{xName}
+	for _, s := range series {
+		t.Headers = append(t.Headers, s.Name+" ("+unit+")", "")
+	}
+	for i, x := range xs {
+		row := []string{x}
+		for _, s := range series {
+			v := 0.0
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			row = append(row, fmt.Sprintf("%.1f", v), HBar(v, max, 24))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.String()
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "bbbb"}}
+	tab.AddRow("xxxxx", 1)
+	tab.AddRow("y", 2.5)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Fatal("float formatting lost")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow(`has,comma`, `has"quote`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Fatalf("comma not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"has""quote"`) {
+		t.Fatalf("quote not doubled: %s", csv)
+	}
+}
+
+func TestMBFormat(t *testing.T) {
+	if MB(10<<20) != "10" {
+		t.Fatalf("MB = %s", MB(10<<20))
+	}
+	if MB1(1<<19) != "0.5" {
+		t.Fatalf("MB1 = %s", MB1(1<<19))
+	}
+}
+
+func TestHBarBounds(t *testing.T) {
+	if got := HBar(5, 10, 10); got != "#####....." {
+		t.Fatalf("HBar = %q", got)
+	}
+	if got := HBar(20, 10, 10); got != "##########" {
+		t.Fatalf("overflow clamp: %q", got)
+	}
+	if got := HBar(-1, 10, 10); got != ".........." {
+		t.Fatalf("negative clamp: %q", got)
+	}
+	if HBar(1, 0, 10) != "" {
+		t.Fatal("zero max should render empty")
+	}
+}
+
+func TestPropertyHBarWidthConstant(t *testing.T) {
+	f := func(v, m uint16) bool {
+		if m == 0 {
+			return true
+		}
+		return len(HBar(float64(v), float64(m), 20)) == 20
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	out := StackedBar("JVM1", []Segment{{"code", 10}, {"heap", 30}}, 80, 40)
+	if !strings.Contains(out, "total=40.0") {
+		t.Fatalf("total missing: %s", out)
+	}
+	if !strings.Contains(out, "code=10.0") || !strings.Contains(out, "heap=30.0") {
+		t.Fatalf("legend missing: %s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatal("bar missing")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	out := SeriesTable("Fig 7", "VMs", []string{"1", "2"}, []Series{
+		{Name: "Default", Values: []float64{10, 20}},
+		{Name: "Ours", Values: []float64{12, 25}},
+	}, "req/s")
+	if !strings.Contains(out, "Fig 7") || !strings.Contains(out, "Default") {
+		t.Fatalf("missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "25.0") {
+		t.Fatalf("missing value:\n%s", out)
+	}
+}

@@ -1,0 +1,228 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewClockStartsAtZero(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", c.Pending())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	c := New()
+	var got []int
+	c.Schedule(30, func(Time) { got = append(got, 3) })
+	c.Schedule(10, func(Time) { got = append(got, 1) })
+	c.Schedule(20, func(Time) { got = append(got, 2) })
+	c.Drain(100)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", c.Now())
+	}
+}
+
+func TestFIFOAtSameDeadline(t *testing.T) {
+	c := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(5, func(Time) { got = append(got, i) })
+	}
+	c.Drain(100)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-deadline events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	c := New()
+	c.Schedule(100, func(Time) {})
+	c.Step()
+	fired := false
+	c.Schedule(-50, func(now Time) {
+		fired = true
+		if now != 100 {
+			t.Errorf("clamped event fired at %v, want 100", now)
+		}
+	})
+	c.Step()
+	if !fired {
+		t.Fatal("clamped event never fired")
+	}
+}
+
+func TestAtInPastClamped(t *testing.T) {
+	c := New()
+	c.Schedule(100, func(Time) {})
+	c.Step()
+	c.At(10, func(now Time) {
+		if now != 100 {
+			t.Errorf("past event fired at %v, want clamped to 100", now)
+		}
+	})
+	c.Step()
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	c := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		c.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	c.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if c.Now() != 25 {
+		t.Fatalf("Now() = %v, want 25", c.Now())
+	}
+	// Events at exactly the deadline fire.
+	c.RunUntil(30)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	c := New()
+	c.RunFor(10 * Second)
+	if c.Now() != 10*Second {
+		t.Fatalf("Now() = %v, want 10s", c.Now())
+	}
+	c.RunFor(5 * Second)
+	if c.Now() != 15*Second {
+		t.Fatalf("Now() = %v, want 15s", c.Now())
+	}
+}
+
+func TestEveryTicksUntilFalse(t *testing.T) {
+	c := New()
+	n := 0
+	c.Every(100, func(Time) bool {
+		n++
+		return n < 5
+	})
+	c.Drain(100)
+	if n != 5 {
+		t.Fatalf("ticker fired %d times, want 5", n)
+	}
+	if c.Now() != 500 {
+		t.Fatalf("Now() = %v, want 500", c.Now())
+	}
+}
+
+func TestEveryZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	New().Every(0, func(Time) bool { return true })
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At with nil fn did not panic")
+		}
+	}()
+	New().At(10, nil)
+}
+
+func TestDrainRunawayPanics(t *testing.T) {
+	c := New()
+	c.Every(1, func(Time) bool { return true })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drain did not panic on runaway ticker")
+		}
+	}()
+	c.Drain(1000)
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	d := 250 * time.Millisecond
+	if got := FromDuration(d).Duration(); got != d {
+		t.Fatalf("round-trip = %v, want %v", got, d)
+	}
+	if Second.Seconds() != 1.0 {
+		t.Fatalf("Second.Seconds() = %v, want 1", Second.Seconds())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	c := New()
+	for i := 0; i < 7; i++ {
+		c.Schedule(Time(i), func(Time) {})
+	}
+	c.Drain(100)
+	if c.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", c.Fired())
+	}
+}
+
+// Property: for any set of delays, events fire in non-decreasing time order
+// and the clock ends at the maximum deadline.
+func TestPropertyEventsFireInOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		c := New()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > max {
+				max = at
+			}
+			c.At(at, func(now Time) { fired = append(fired, now) })
+		}
+		c.Drain(uint64(len(delays) + 1))
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return c.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scheduling from inside an event keeps ordering consistent.
+func TestPropertyNestedScheduling(t *testing.T) {
+	f := func(seed uint8) bool {
+		c := New()
+		var fired []Time
+		c.Schedule(Time(seed)+1, func(now Time) {
+			c.Schedule(Time(seed%7)+1, func(n2 Time) { fired = append(fired, n2) })
+			fired = append(fired, now)
+		})
+		c.Drain(10)
+		return len(fired) == 2 && fired[1] >= fired[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package trace records a timeline of experiment events against the
+// virtual clock: guest boots, deployment phases, scanner progress,
+// measurement windows. The timeline is what the paper's lab notebook
+// would hold — when each VM started, when KSM converged, when the
+// measurement was taken — and makes simulated runs debuggable.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simclock"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the experiment driver.
+const (
+	KindBoot    Kind = "boot"
+	KindDeploy  Kind = "deploy"
+	KindPhase   Kind = "phase"
+	KindScanner Kind = "scanner"
+	KindMeasure Kind = "measure"
+	KindBalloon Kind = "balloon"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At      simclock.Time
+	Kind    Kind
+	Subject string // VM name, scanner, ...
+	Message string
+}
+
+// Log is a bounded event recorder. When the capacity is exceeded the oldest
+// events are dropped (the count of drops is retained).
+type Log struct {
+	clock   *simclock.Clock
+	max     int
+	events  []Event
+	dropped int
+}
+
+// New creates a log bound to a clock. capacity <= 0 selects a default.
+func New(clock *simclock.Clock, capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Log{clock: clock, max: capacity}
+}
+
+// Emit records an event at the current virtual time. A nil log is a no-op,
+// so call sites don't need guards.
+func (l *Log) Emit(kind Kind, subject, format string, args ...interface{}) {
+	if l == nil {
+		return
+	}
+	if len(l.events) >= l.max {
+		copy(l.events, l.events[1:])
+		l.events = l.events[:len(l.events)-1]
+		l.dropped++
+	}
+	l.events = append(l.events, Event{
+		At:      l.clock.Now(),
+		Kind:    kind,
+		Subject: subject,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns the recorded timeline in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Dropped reports how many events were evicted.
+func (l *Log) Dropped() int {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// String renders the timeline.
+func (l *Log) String() string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped)\n", l.dropped)
+	}
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "%12s  %-8s %-10s %s\n", e.At, e.Kind, e.Subject, e.Message)
+	}
+	return b.String()
+}
+
+// Filter returns the events of one kind.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestEmitAndRender(t *testing.T) {
+	clock := simclock.New()
+	l := New(clock, 16)
+	l.Emit(KindBoot, "VM 1", "booted with %d MB", 1024)
+	clock.RunFor(5 * simclock.Second)
+	l.Emit(KindScanner, "ksm", "pass complete")
+	ev := l.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].At != 0 || ev[1].At != 5*simclock.Second {
+		t.Fatalf("timestamps wrong: %v %v", ev[0].At, ev[1].At)
+	}
+	out := l.String()
+	if !strings.Contains(out, "booted with 1024 MB") || !strings.Contains(out, "ksm") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestBoundedWithDrops(t *testing.T) {
+	l := New(simclock.New(), 4)
+	for i := 0; i < 10; i++ {
+		l.Emit(KindPhase, "x", "event %d", i)
+	}
+	if len(l.Events()) != 4 {
+		t.Fatalf("kept %d, want 4", len(l.Events()))
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", l.Dropped())
+	}
+	if l.Events()[0].Message != "event 6" {
+		t.Fatalf("oldest kept = %q", l.Events()[0].Message)
+	}
+	if !strings.Contains(l.String(), "6 earlier events dropped") {
+		t.Fatal("drop notice missing")
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Emit(KindBoot, "x", "ignored")
+	if l.Events() != nil || l.Dropped() != 0 || l.String() != "" {
+		t.Fatal("nil log not inert")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(simclock.New(), 16)
+	l.Emit(KindBoot, "a", "1")
+	l.Emit(KindScanner, "b", "2")
+	l.Emit(KindBoot, "c", "3")
+	if got := len(l.Filter(KindBoot)); got != 2 {
+		t.Fatalf("filter = %d", got)
+	}
+	if len(l.Filter(KindMeasure)) != 0 {
+		t.Fatal("phantom events")
+	}
+}

@@ -1,0 +1,297 @@
+// Package workload implements the paper's four benchmark workloads
+// (Table III): Apache DayTrader 2.0, SPECjEnterprise 2010, TPC-W (Java
+// implementation), and the Apache Tuscany bigbank demo — as drivers that
+// exercise a simulated JVM the way the real benchmarks exercise a real one:
+// a middleware startup phase that scans JARs and loads the class stack, a
+// scenario-initialization phase that warms the JIT, and a steady-state
+// request loop that churns the heap, mutates object headers, transfers NIO
+// payloads and keeps stacks volatile.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/classlib"
+	"repro/internal/jvm"
+)
+
+// Spec is one workload configuration, unscaled (paper units); Deploy divides
+// by the experiment's memory scale.
+type Spec struct {
+	Name string
+	// Middleware is the application server hosting the app ("WAS" or
+	// "Tuscany") — it determines the class stack and the JAR set.
+	Middleware string
+
+	// GuestMemBytes is the guest VM memory from Table II: 1.00 GB for
+	// DayTrader, TPC-W and Tuscany; 1.25 GB for SPECjEnterprise 2010;
+	// 3.5 GB for the POWER guests.
+	GuestMemBytes int64
+
+	// Cache configuration (Table III "shared class cache size").
+	CacheName  string
+	CacheBytes int64
+
+	// Heap configuration.
+	GCPolicy     jvm.GCPolicy
+	HeapBytes    int64
+	NurseryBytes int64
+	TenuredBytes int64
+
+	// ClientThreads is the per-VM driver thread count.
+	ClientThreads int
+	// InjectionRate is the SPECjEnterprise driver rate (0 for the others).
+	InjectionRate int
+
+	// CacheAwareGroups load through loaders that can use the shared cache.
+	CacheAwareGroups []classlib.Group
+	// PrivateGroups load through loaders that cannot (the EJB application
+	// loaders in the measured J9 implementation).
+	PrivateGroups []classlib.Group
+
+	// Steady-state request shape.
+	RequestAllocs     int // objects allocated per request (baseline op)
+	RequestAllocBytes int // mean object size
+	SessionEvery      int // every Nth request creates a long-lived session object
+	SessionBytes      int // session object size
+	SessionCap        int // live sessions before the oldest is released
+	NIOBytesPerReq    int // wire bytes moved per request (baseline op)
+
+	// Mix is the benchmark's operation mix; requests draw an operation by
+	// weight and scale the baseline allocation/transfer shape by its
+	// factors. Factors are weight-balanced around 1.0 so a mix refines the
+	// request distribution without changing the aggregate memory rates.
+	Mix []Operation
+
+	// WarmupRequests is served at deploy time (the paper's scenario
+	// initialization), bringing the heap to its steady-state high-water
+	// mark before measurement.
+	WarmupRequests int
+
+	// BaseRequestsPerSec is the per-VM throughput when memory is
+	// plentiful; the Fig. 7/8 performance model degrades it with the
+	// measured major-fault rate.
+	BaseRequestsPerSec float64
+}
+
+// Operation is one request type of a benchmark's scenario mix.
+type Operation struct {
+	Name   string
+	Weight int
+	// AllocFactor scales the number of objects the operation allocates;
+	// SizeFactor scales their mean size; NIOFactor scales the wire bytes.
+	AllocFactor float64
+	SizeFactor  float64
+	NIOFactor   float64
+	// Session marks operations that create long-lived session state (login,
+	// order placement) rather than only transient objects.
+	Session bool
+}
+
+// wasGroups is the middleware stack of a WAS-hosted workload.
+func wasGroups() []classlib.Group {
+	return []classlib.Group{classlib.GroupJDK, classlib.GroupOSGi, classlib.GroupWASCore, classlib.GroupDerby}
+}
+
+// DayTrader returns the Table III DayTrader 2.0 configuration for the Intel
+// platform: 12 client threads, 530 MB flat heap, 120 MB cache.
+func DayTrader() Spec {
+	return Spec{
+		Name:              "DayTrader",
+		WarmupRequests:    900,
+		Middleware:        "WAS",
+		GuestMemBytes:     1 << 30,
+		CacheName:         "webspherev70",
+		CacheBytes:        120 << 20,
+		GCPolicy:          jvm.OptThruput,
+		HeapBytes:         530 << 20,
+		ClientThreads:     12,
+		CacheAwareGroups:  append(wasGroups(), classlib.GroupDayTrader),
+		PrivateGroups:     []classlib.Group{classlib.GroupDayTraderEJB},
+		RequestAllocs:     24,
+		RequestAllocBytes: 2048,
+		SessionEvery:      4,
+		SessionBytes:      8192,
+		SessionCap:        600,
+		NIOBytesPerReq:    24 << 10,
+		Mix: []Operation{
+			{Name: "quote", Weight: 40, AllocFactor: 0.6, SizeFactor: 0.8, NIOFactor: 0.7},
+			{Name: "portfolio", Weight: 20, AllocFactor: 1.5, SizeFactor: 1.1, NIOFactor: 1.6},
+			{Name: "buy", Weight: 15, AllocFactor: 1.2, SizeFactor: 1.2, NIOFactor: 0.9, Session: true},
+			{Name: "sell", Weight: 15, AllocFactor: 1.2, SizeFactor: 1.2, NIOFactor: 0.9, Session: true},
+			{Name: "home", Weight: 10, AllocFactor: 1.0, SizeFactor: 0.9, NIOFactor: 1.5},
+		},
+		BaseRequestsPerSec: 19.0,
+	}
+}
+
+// DayTraderPOWER is the POWER-platform variant: 25 client threads, 1 GB
+// heap, 120 MB cache (Table III rightmost column).
+func DayTraderPOWER() Spec {
+	s := DayTrader()
+	s.Name = "DayTrader-POWER"
+	s.GuestMemBytes = 3584 << 20
+	s.HeapBytes = 1 << 30
+	s.ClientThreads = 25
+	s.BaseRequestsPerSec = 40.0
+	return s
+}
+
+// SPECjEnterprise returns the SPECjEnterprise 2010 configuration:
+// injection rate 15, 730 MB heap (Fig. 8 uses gencon with a 530 MB nursery
+// and 200 MB tenured area), 120 MB cache.
+func SPECjEnterprise() Spec {
+	return Spec{
+		Name:              "SPECjEnterprise",
+		WarmupRequests:    800,
+		Middleware:        "WAS",
+		GuestMemBytes:     1280 << 20,
+		CacheName:         "webspherev70",
+		CacheBytes:        120 << 20,
+		GCPolicy:          jvm.GenCon,
+		HeapBytes:         730 << 20,
+		NurseryBytes:      530 << 20,
+		TenuredBytes:      200 << 20,
+		InjectionRate:     15,
+		ClientThreads:     15,
+		CacheAwareGroups:  append(wasGroups(), classlib.GroupSPECjE),
+		PrivateGroups:     []classlib.Group{classlib.GroupSPECjEEJB},
+		RequestAllocs:     32,
+		RequestAllocBytes: 2560,
+		SessionEvery:      3,
+		SessionBytes:      12288,
+		SessionCap:        800,
+		NIOBytesPerReq:    32 << 10,
+		Mix: []Operation{
+			{Name: "browse", Weight: 25, AllocFactor: 0.7, SizeFactor: 0.9, NIOFactor: 1.2},
+			{Name: "manage", Weight: 25, AllocFactor: 1.1, SizeFactor: 1.0, NIOFactor: 0.8},
+			{Name: "purchase", Weight: 25, AllocFactor: 1.2, SizeFactor: 1.1, NIOFactor: 0.9, Session: true},
+			{Name: "workorder", Weight: 25, AllocFactor: 1.0, SizeFactor: 1.0, NIOFactor: 1.1},
+		},
+		BaseRequestsPerSec: 24.0, // EjOPS at injection rate 15
+	}
+}
+
+// TPCW returns the TPC-W Java-implementation configuration: 10 client
+// threads, 512 MB heap, 120 MB cache.
+func TPCW() Spec {
+	return Spec{
+		Name:              "TPC-W",
+		WarmupRequests:    700,
+		Middleware:        "WAS",
+		GuestMemBytes:     1 << 30,
+		CacheName:         "webspherev70",
+		CacheBytes:        120 << 20,
+		GCPolicy:          jvm.OptThruput,
+		HeapBytes:         512 << 20,
+		ClientThreads:     10,
+		CacheAwareGroups:  append(wasGroups(), classlib.GroupTPCW),
+		RequestAllocs:     20,
+		RequestAllocBytes: 1792,
+		SessionEvery:      5,
+		SessionBytes:      6144,
+		SessionCap:        500,
+		NIOBytesPerReq:    20 << 10,
+		Mix: []Operation{
+			{Name: "browse", Weight: 50, AllocFactor: 0.8, SizeFactor: 0.9, NIOFactor: 1.2},
+			{Name: "search", Weight: 20, AllocFactor: 1.4, SizeFactor: 1.0, NIOFactor: 1.1},
+			{Name: "cart", Weight: 20, AllocFactor: 1.1, SizeFactor: 1.2, NIOFactor: 0.7, Session: true},
+			{Name: "checkout", Weight: 10, AllocFactor: 1.4, SizeFactor: 1.1, NIOFactor: 0.6, Session: true},
+		},
+		BaseRequestsPerSec: 17.0,
+	}
+}
+
+// Tuscany returns the Apache Tuscany bigbank demo configuration: 7 client
+// threads, 32 MB heap, 25 MB cache — the small non-WAS middleware of
+// Fig. 3(c)/5(c).
+func Tuscany() Spec {
+	return Spec{
+		Name:              "Tuscany-bigbank",
+		WarmupRequests:    300,
+		Middleware:        "Tuscany",
+		GuestMemBytes:     1 << 30,
+		CacheName:         "tuscany",
+		CacheBytes:        25 << 20,
+		GCPolicy:          jvm.OptThruput,
+		HeapBytes:         32 << 20,
+		ClientThreads:     7,
+		CacheAwareGroups:  []classlib.Group{classlib.GroupJDKCore, classlib.GroupTuscany, classlib.GroupBigBank},
+		RequestAllocs:     10,
+		RequestAllocBytes: 1024,
+		SessionEvery:      6,
+		SessionBytes:      4096,
+		SessionCap:        120,
+		NIOBytesPerReq:    8 << 10,
+		Mix: []Operation{
+			{Name: "balance", Weight: 60, AllocFactor: 0.8, SizeFactor: 0.9, NIOFactor: 1.0},
+			{Name: "statement", Weight: 25, AllocFactor: 1.3, SizeFactor: 1.2, NIOFactor: 1.1, Session: true},
+			{Name: "exchange", Weight: 15, AllocFactor: 1.3, SizeFactor: 1.0, NIOFactor: 0.8},
+		},
+		BaseRequestsPerSec: 11.0,
+	}
+}
+
+// AllSpecs lists every workload for table rendering.
+func AllSpecs() []Spec {
+	return []Spec{DayTrader(), SPECjEnterprise(), TPCW(), Tuscany(), DayTraderPOWER()}
+}
+
+// SizesFor returns the native-memory sizing for a workload's middleware at
+// the given scale: the full WAS profile, or a slimmer one for Tuscany,
+// whose Fig. 3(c) footprint is an order of magnitude smaller.
+func SizesFor(spec Spec, scale int) jvm.Sizes {
+	s := jvm.DefaultSizes(scale)
+	if spec.Middleware == "Tuscany" {
+		div := func(v int64) int64 {
+			v /= int64(scale)
+			if v < 4096 {
+				v = 4096
+			}
+			return v
+		}
+		s.MiddlewareLibsBytes = div(4 << 20)
+		s.JVMLibsBytes = div(16 << 20)
+		s.LibDataBytes = div(2 << 20)
+		s.MallocStartupBytes = div(10 << 20)
+		s.BulkReserveBytes = div(2 << 20)
+		s.NIOPoolBytes = div(3 << 20)
+	}
+	return s
+}
+
+// Validate checks a spec for the configuration mistakes that would
+// otherwise surface as panics deep inside a run.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: spec has no name")
+	case s.GuestMemBytes <= 0:
+		return fmt.Errorf("workload %s: GuestMemBytes not set", s.Name)
+	case s.GCPolicy == jvm.GenCon && (s.NurseryBytes <= 0 || s.TenuredBytes <= 0):
+		return fmt.Errorf("workload %s: gencon needs NurseryBytes and TenuredBytes", s.Name)
+	case s.GCPolicy == jvm.OptThruput && s.HeapBytes <= 0:
+		return fmt.Errorf("workload %s: optthruput needs HeapBytes", s.Name)
+	case len(s.CacheAwareGroups) == 0:
+		return fmt.Errorf("workload %s: no classes to load", s.Name)
+	case s.CacheBytes <= 0:
+		return fmt.Errorf("workload %s: CacheBytes not set", s.Name)
+	case s.ClientThreads <= 0:
+		return fmt.Errorf("workload %s: ClientThreads not set", s.Name)
+	case s.BaseRequestsPerSec <= 0:
+		return fmt.Errorf("workload %s: BaseRequestsPerSec not set", s.Name)
+	}
+	heap := s.HeapBytes
+	if s.GCPolicy == jvm.GenCon {
+		heap = s.NurseryBytes + s.TenuredBytes
+	}
+	if heap >= s.GuestMemBytes {
+		return fmt.Errorf("workload %s: heap %d does not fit guest memory %d", s.Name, heap, s.GuestMemBytes)
+	}
+	for _, op := range s.Mix {
+		if op.Weight <= 0 || op.AllocFactor <= 0 || op.SizeFactor <= 0 {
+			return fmt.Errorf("workload %s: malformed operation %q", s.Name, op.Name)
+		}
+	}
+	return nil
+}
