@@ -328,6 +328,33 @@ func BenchmarkAblationNIORealWorld(b *testing.B) {
 	}
 }
 
+// --- Parallel runner ----------------------------------------------------------
+
+// benchSweep is the Fig. 7-shaped workload for the runner benchmarks: a
+// 4-point VM-count sweep with two configurations per point (8 independent
+// cluster runs). The pair below measures the same sweep sequentially and on
+// a 4-worker pool; on a ≥4-core machine the parallel run should finish in
+// less than half the sequential wall-clock time.
+func benchSweep(b *testing.B, jobs int) {
+	o := benchOpts()
+	o.Jobs = jobs
+	for i := 0; i < b.N; i++ {
+		f := core.Fig7(o)
+		if len(f.Points) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkSweepSequential runs the quick Fig. 7 sweep with -jobs 1
+// (today's strictly sequential behaviour).
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel4 runs the identical sweep on a 4-worker pool. The
+// output is byte-identical (see core.TestSweepDeterministicAcrossJobWidths);
+// only the wall clock differs.
+func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
+
 // --- Micro-benchmarks ---------------------------------------------------------
 
 // BenchmarkKSMScanPage measures the scanner's per-page cost over a warm

@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	tpsim [-scale N] [-seed S] [-quick] <experiment> [...]
+//	tpsim [-scale N] [-seed S] [-quick] [-jobs N] <experiment> [...]
 //
 // Experiments: table1 table2 table3 table4 fig2 fig3a fig3b fig3c fig4
 // fig5a fig5b fig5c fig6 fig7 fig8, or "all". fig2/fig3a share one run, as
 // do fig4/fig5a; requesting either id prints that part.
+//
+// Independent cluster runs (sweep points, error-bar repetitions, the
+// experiments of "all") fan out across -jobs workers. Results are collected
+// in submission order, so stdout is byte-identical at every -jobs width;
+// progress and timing go to stderr.
 package main
 
 import (
@@ -25,13 +30,20 @@ func main() {
 	seed := flag.Uint64("seed", 0, "randomization seed")
 	quick := flag.Bool("quick", false, "shorter steady state and sweeps")
 	csv := flag.Bool("csv", false, "emit CSV instead of rendered reports")
+	jobs := flag.Int("jobs", 0, "parallel cluster runs (0 = GOMAXPROCS, 1 = fully sequential)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
 	}
-	opts := core.Options{Scale: *scale, Seed: core.SeedFromUint64(*seed), Quick: *quick}
+	opts := core.Options{
+		Scale:    *scale,
+		Seed:     core.SeedFromUint64(*seed),
+		Quick:    *quick,
+		Jobs:     *jobs,
+		Progress: printProgress,
+	}
 	asCSV = *csv
 	for _, id := range flag.Args() {
 		if err := run(id, opts); err != nil {
@@ -44,7 +56,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `tpsim — rerun the ISPASS 2013 TPS-in-Java experiments
 
-usage: tpsim [-scale N] [-seed S] [-quick] <experiment>...
+usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] <experiment>...
 
 experiments:
   table1..table4   the paper's configuration tables
@@ -64,108 +76,148 @@ experiments:
 // asCSV selects CSV output (set by -csv).
 var asCSV bool
 
-func printMem(f core.MemFigure) {
-	if asCSV {
-		fmt.Print(core.MemFigureTable(f).CSV())
-		return
+// printProgress reports fanned-out job completions on stderr.
+func printProgress(ev core.JobEvent) {
+	if ev.Done {
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s done in %v\n",
+			ev.Index+1, ev.Total, ev.Label, ev.Elapsed.Round(time.Millisecond))
 	}
-	fmt.Println(core.RenderMemFigure(f))
 }
 
-func printJava(f core.JavaFigure) {
+func memText(f core.MemFigure) string {
 	if asCSV {
-		fmt.Print(core.JavaFigureTable(f).CSV())
-		return
+		return core.MemFigureTable(f).CSV()
 	}
-	fmt.Println(core.RenderJavaFigure(f))
+	return core.RenderMemFigure(f) + "\n"
 }
 
-func printSweep(f core.SweepFigure) {
+func javaText(f core.JavaFigure) string {
 	if asCSV {
-		fmt.Print(core.SweepFigureTable(f).CSV())
-		return
+		return core.JavaFigureTable(f).CSV()
 	}
-	fmt.Println(core.RenderSweepFigure(f))
+	return core.RenderJavaFigure(f) + "\n"
 }
 
-func printPower(f core.PowerFigure) {
+func sweepText(f core.SweepFigure) string {
 	if asCSV {
-		fmt.Print(core.PowerFigureTable(f).CSV())
-		return
+		return core.SweepFigureTable(f).CSV()
 	}
-	fmt.Println(core.RenderPowerFigure(f))
+	return core.RenderSweepFigure(f) + "\n"
 }
 
-func printTable(t interface {
+func powerText(f core.PowerFigure) string {
+	if asCSV {
+		return core.PowerFigureTable(f).CSV()
+	}
+	return core.RenderPowerFigure(f) + "\n"
+}
+
+func tableText(t interface {
 	String() string
 	CSV() string
-}) {
+}) string {
 	if asCSV {
-		fmt.Print(t.CSV())
-		return
+		return t.CSV()
 	}
-	fmt.Println(t)
+	return t.String() + "\n"
+}
+
+// allIDs lists every experiment "all" runs, in print order.
+var allIDs = []string{"table1", "table2", "table3", "table4",
+	"fig2", "fig3a", "fig3b", "fig3c", "fig4", "fig5a", "fig5b", "fig5c",
+	"fig6", "fig7", "fig8"}
+
+// render produces the stdout text for one experiment id.
+func render(id string, opts core.Options) (string, error) {
+	switch id {
+	case "table1":
+		return tableText(core.Table1()), nil
+	case "table2":
+		return tableText(core.Table2()), nil
+	case "table3":
+		return tableText(core.Table3()), nil
+	case "table4":
+		return tableText(core.Table4()), nil
+	case "fig2", "fig3a":
+		memF, javaF := core.Fig2(opts)
+		if id == "fig2" {
+			return memText(memF), nil
+		}
+		return javaText(javaF), nil
+	case "fig4", "fig5a":
+		memF, javaF := core.Fig4(opts)
+		if id == "fig4" {
+			return memText(memF), nil
+		}
+		return javaText(javaF), nil
+	case "fig3b":
+		return javaText(core.Fig3b(opts)), nil
+	case "fig3c":
+		return javaText(core.Fig3c(opts)), nil
+	case "fig5b":
+		return javaText(core.Fig5b(opts)), nil
+	case "fig5c":
+		return javaText(core.Fig5c(opts)), nil
+	case "fig6":
+		return powerText(core.Fig6(opts)), nil
+	case "fig7":
+		return sweepText(core.Fig7(opts)), nil
+	case "fig8":
+		return sweepText(core.Fig8(opts)), nil
+	case "check":
+		out, ok := core.RunClaims(opts)
+		if !ok {
+			return out, fmt.Errorf("some claims failed")
+		}
+		return out, nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q (see -h)", id)
+	}
 }
 
 func run(id string, opts core.Options) error {
 	start := time.Now()
-	switch id {
-	case "table1":
-		printTable(core.Table1())
-	case "table2":
-		printTable(core.Table2())
-	case "table3":
-		printTable(core.Table3())
-	case "table4":
-		printTable(core.Table4())
-	case "fig2", "fig3a":
-		memF, javaF := core.Fig2(opts)
-		if id == "fig2" {
-			printMem(memF)
-		} else {
-			printJava(javaF)
+	if id == "all" {
+		// The experiments are independent; fan them out and print in order.
+		// Each inner sweep fans out its own cluster runs on the same width.
+		type result struct {
+			out string
+			err error
 		}
-	case "fig4", "fig5a":
-		memF, javaF := core.Fig4(opts)
-		if id == "fig4" {
-			printMem(memF)
-		} else {
-			printJava(javaF)
+		runner := core.NewRunner(opts.Jobs)
+		if opts.Progress != nil {
+			runner.OnProgress(opts.Progress)
 		}
-	case "fig3b":
-		printJava(core.Fig3b(opts))
-	case "fig3c":
-		printJava(core.Fig3c(opts))
-	case "fig5b":
-		printJava(core.Fig5b(opts))
-	case "fig5c":
-		printJava(core.Fig5c(opts))
-	case "fig6":
-		printPower(core.Fig6(opts))
-	case "fig7":
-		printSweep(core.Fig7(opts))
-	case "fig8":
-		printSweep(core.Fig8(opts))
-	case "check":
-		out, ok := core.RunClaims(opts)
-		fmt.Print(out)
-		if !ok {
-			return fmt.Errorf("some claims failed")
+		jobs := make([]core.Job[result], len(allIDs))
+		for i, sub := range allIDs {
+			sub := sub
+			jobs[i] = core.Job[result]{Label: sub, Run: func() result {
+				out, err := render(sub, opts)
+				return result{out: out, err: err}
+			}}
 		}
-	case "all":
-		for _, sub := range []string{"table1", "table2", "table3", "table4",
-			"fig2", "fig3a", "fig3b", "fig3c", "fig4", "fig5a", "fig5b", "fig5c",
-			"fig6", "fig7", "fig8"} {
-			if err := run(sub, opts); err != nil {
-				return err
+		for i, r := range core.RunAll(runner, jobs) {
+			if r.err != nil {
+				return r.err
+			}
+			fmt.Print(r.out)
+			if !asCSV {
+				fmt.Fprintf(os.Stderr, "[%s done]\n", allIDs[i])
 			}
 		}
+		fmt.Fprintf(os.Stderr, "[all done in %v]\n", time.Since(start).Round(time.Millisecond))
 		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q (see -h)", id)
 	}
+	out, err := render(id, opts)
+	if err != nil {
+		if out != "" {
+			fmt.Print(out)
+		}
+		return err
+	}
+	fmt.Print(out)
 	if !asCSV {
-		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }

@@ -3,7 +3,11 @@
 // throughput cliff falls with and without the preloaded shared class cache
 // — the paper's "one extra guest VM with acceptable performance".
 //
-//	go run ./examples/consolidation [-from N] [-to N] [-scale N]
+// The search is embarrassingly parallel: every (VM count, configuration)
+// cell builds its own cluster, so the cells fan out across -jobs workers
+// and the table is assembled in order afterwards.
+//
+//	go run ./examples/consolidation [-from N] [-to N] [-scale N] [-jobs N]
 package main
 
 import (
@@ -17,37 +21,53 @@ func main() {
 	from := flag.Int("from", 6, "first VM count")
 	to := flag.Int("to", 9, "last VM count")
 	scale := flag.Int("scale", 0, "memory scale divisor (0 = default)")
+	jobs := flag.Int("jobs", 0, "parallel cluster runs (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	type cell struct {
+		n          int
+		shared     bool
+		throughput float64
+		acceptable bool
+	}
+	var cells []tpsim.Job[cell]
+	for n := *from; n <= *to; n++ {
+		for _, shared := range []bool{false, true} {
+			n, shared := n, shared
+			cells = append(cells, tpsim.Job[cell]{
+				Label: fmt.Sprintf("n=%d shared=%v", n, shared),
+				Run: func() cell {
+					c := tpsim.BuildCluster(tpsim.ClusterConfig{
+						Scale:              *scale,
+						Specs:              []tpsim.WorkloadSpec{tpsim.DayTrader()},
+						NumVMs:             n,
+						SharedClasses:      shared,
+						SteadyRounds:       8,
+						IterationsPerRound: 25,
+					})
+					c.Run()
+					agg := tpsim.Aggregate(c.MeasurePerf(20))
+					// "Acceptable": within 25 % of the unloaded aggregate.
+					unloaded := float64(n) * tpsim.DayTrader().BaseRequestsPerSec
+					return cell{n: n, shared: shared, throughput: agg, acceptable: agg > 0.75*unloaded}
+				},
+			})
+		}
+	}
+	results := tpsim.RunAll(tpsim.NewRunner(*jobs), cells)
 
 	fmt.Println("VMs | default config (req/s) | with shared cache (req/s)")
 	fmt.Println("----+------------------------+--------------------------")
-
 	lastOKDefault, lastOKShared := 0, 0
-	for n := *from; n <= *to; n++ {
-		var results [2]float64
-		for i, shared := range []bool{false, true} {
-			c := tpsim.BuildCluster(tpsim.ClusterConfig{
-				Scale:              *scale,
-				Specs:              []tpsim.WorkloadSpec{tpsim.DayTrader()},
-				NumVMs:             n,
-				SharedClasses:      shared,
-				SteadyRounds:       8,
-				IterationsPerRound: 25,
-			})
-			c.Run()
-			perf := c.MeasurePerf(20)
-			results[i] = tpsim.Aggregate(perf)
-			// "Acceptable": within 25 % of the unloaded aggregate.
-			unloaded := float64(n) * tpsim.DayTrader().BaseRequestsPerSec
-			if results[i] > 0.75*unloaded {
-				if shared {
-					lastOKShared = n
-				} else {
-					lastOKDefault = n
-				}
-			}
+	for i := 0; i < len(results); i += 2 {
+		def, sh := results[i], results[i+1]
+		fmt.Printf("%3d | %22.1f | %24.1f\n", def.n, def.throughput, sh.throughput)
+		if def.acceptable {
+			lastOKDefault = def.n
 		}
-		fmt.Printf("%3d | %22.1f | %24.1f\n", n, results[0], results[1])
+		if sh.acceptable {
+			lastOKShared = sh.n
+		}
 	}
 
 	fmt.Println()

@@ -157,18 +157,32 @@ func Claims() []Claim {
 }
 
 // RunClaims evaluates every claim and renders a report; ok is true only if
-// all claims held.
+// all claims held. Each claim runs its experiments on fresh clusters, so the
+// checks fan out across the runner's pool; the report keeps paper order.
 func RunClaims(o Options) (string, bool) {
+	type verdict struct {
+		detail string
+		ok     bool
+	}
+	claims := Claims()
+	jobs := make([]Job[verdict], len(claims))
+	for i, c := range claims {
+		c := c
+		jobs[i] = Job[verdict]{Label: "claim " + c.ID, Run: func() verdict {
+			detail, ok := c.Check(o)
+			return verdict{detail: detail, ok: ok}
+		}}
+	}
+	results := RunAll(o.runner(), jobs)
 	var b strings.Builder
 	allOK := true
-	for _, c := range Claims() {
-		detail, ok := c.Check(o)
+	for i, c := range claims {
 		status := "PASS"
-		if !ok {
+		if !results[i].ok {
 			status = "FAIL"
 			allOK = false
 		}
-		fmt.Fprintf(&b, "[%s] %-28s %s\n%*s measured: %s\n", status, c.ID, c.Statement, 6, "", detail)
+		fmt.Fprintf(&b, "[%s] %-28s %s\n%*s measured: %s\n", status, c.ID, c.Statement, 6, "", results[i].detail)
 	}
 	return b.String(), allOK
 }

@@ -18,6 +18,15 @@ type Options struct {
 	Seed mem.Seed
 	// Quick shrinks steady-state length and sweep points for fast benches.
 	Quick bool
+	// Jobs bounds the worker pool used to fan out independent cluster runs
+	// (sweep points, error-bar repetitions, claim checks). 0 means
+	// runtime.GOMAXPROCS(0); 1 runs everything sequentially inline. Results
+	// are collected in submission order, so rendered output is identical at
+	// every width.
+	Jobs int
+	// Progress, when set, receives a JobEvent as each fanned-out job starts
+	// and finishes (cmd/tpsim routes these to stderr).
+	Progress func(JobEvent)
 }
 
 func (o Options) scale() int {
@@ -25,6 +34,15 @@ func (o Options) scale() int {
 		return DefaultScale
 	}
 	return o.Scale
+}
+
+// runner builds a Runner from the options, wiring the progress callback.
+func (o Options) runner() *Runner {
+	r := NewRunner(o.Jobs)
+	if o.Progress != nil {
+		r.OnProgress(o.Progress)
+	}
+	return r
 }
 
 // MemFigure is a Fig. 2 / Fig. 4 result: per-VM physical memory breakdown

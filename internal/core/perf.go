@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/hypervisor"
@@ -203,36 +204,67 @@ type SweepFigure struct {
 	Points []SweepPoint
 }
 
+// sweepSample is one fanned-out cluster run of a sweep: a single
+// (VM count, configuration, repetition) cell.
+type sweepSample struct {
+	value    float64
+	violated bool
+}
+
 // sweep runs the VM-count sweep for one workload and aggregation mode.
+// Every (count, configuration, repetition) cell is an independent cluster
+// run whose seed depends only on the repetition, so the cells fan out across
+// the runner's pool; the reduction below walks them in submission order and
+// the figure is identical at every pool width.
 func sweep(o Options, id, title, unit string, spec workload.Spec, counts []int, reps int, aggregate bool) SweepFigure {
 	fig := SweepFigure{ID: id, Title: title, Unit: unit}
+	var jobs []Job[sweepSample]
+	for _, n := range counts {
+		for _, shared := range []bool{false, true} {
+			for rep := 0; rep < reps; rep++ {
+				n, shared, rep := n, shared, rep
+				jobs = append(jobs, Job[sweepSample]{
+					Label: fmt.Sprintf("%s n=%d shared=%v rep=%d", id, n, shared, rep+1),
+					Run: func() sweepSample {
+						cfg := ClusterConfig{
+							Scale:         o.scale(),
+							Specs:         []workload.Spec{spec},
+							NumVMs:        n,
+							SharedClasses: shared,
+							BaseSeed:      mem.Combine(o.Seed, mem.Seed(rep+1)),
+							// The measurement must span at least one full GC
+							// cycle per VM: the collector's whole-heap touch
+							// is what exposes over-commitment as faults.
+							SteadyRounds:       8,
+							IterationsPerRound: 25,
+						}
+						c := BuildCluster(cfg)
+						c.Run()
+						perf := c.MeasurePerf(20)
+						s := sweepSample{violated: AnySLAViolated(perf)}
+						if aggregate {
+							s.value = Aggregate(perf)
+						} else {
+							s.value = MeanScore(perf)
+						}
+						return s
+					},
+				})
+			}
+		}
+	}
+	results := RunAll(o.runner(), jobs)
+
+	i := 0
 	for _, n := range counts {
 		pt := SweepPoint{NumVMs: n}
 		for _, shared := range []bool{false, true} {
 			var samples []float64
 			viol := false
 			for rep := 0; rep < reps; rep++ {
-				cfg := ClusterConfig{
-					Scale:         o.scale(),
-					Specs:         []workload.Spec{spec},
-					NumVMs:        n,
-					SharedClasses: shared,
-					BaseSeed:      mem.Combine(o.Seed, mem.Seed(rep+1)),
-					// The measurement must span at least one full GC cycle
-					// per VM: the collector's whole-heap touch is what
-					// exposes over-commitment as faults.
-					SteadyRounds:       8,
-					IterationsPerRound: 25,
-				}
-				c := BuildCluster(cfg)
-				c.Run()
-				perf := c.MeasurePerf(20)
-				if aggregate {
-					samples = append(samples, Aggregate(perf))
-				} else {
-					samples = append(samples, MeanScore(perf))
-				}
-				viol = viol || AnySLAViolated(perf)
+				samples = append(samples, results[i].value)
+				viol = viol || results[i].violated
+				i++
 			}
 			if shared {
 				pt.Preloaded = statOf(samples)
@@ -243,8 +275,8 @@ func sweep(o Options, id, title, unit string, spec workload.Spec, counts []int, 
 			}
 		}
 		fig.Points = append(fig.Points, pt)
-		sort.Slice(fig.Points, func(i, j int) bool { return fig.Points[i].NumVMs < fig.Points[j].NumVMs })
 	}
+	sort.Slice(fig.Points, func(i, j int) bool { return fig.Points[i].NumVMs < fig.Points[j].NumVMs })
 	return fig
 }
 

@@ -47,11 +47,15 @@ func (f PowerFigure) DeltaMB() float64 {
 // Fig6 runs the PowerVM experiment: three 3.5 GB AIX partitions each
 // running WAS + DayTrader (25 client threads, 1 GB heap), measured before
 // and after the hypervisor's page sharing, without and with the preloaded
-// shared class cache.
+// shared class cache. The two configurations build independent machines, so
+// they fan out across the runner's pool.
 func Fig6(o Options) PowerFigure {
 	fig := PowerFigure{ID: "fig6", Title: "PowerVM: physical memory of three guest VMs, before/after sharing"}
-	fig.NoPreload = powerRun(o, false)
-	fig.Preload = powerRun(o, true)
+	pairs := RunAll(o.runner(), []Job[PowerPair]{
+		{Label: "fig6 preload=false", Run: func() PowerPair { return powerRun(o, false) }},
+		{Label: "fig6 preload=true", Run: func() PowerPair { return powerRun(o, true) }},
+	})
+	fig.NoPreload, fig.Preload = pairs[0], pairs[1]
 	return fig
 }
 

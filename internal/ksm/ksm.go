@@ -161,9 +161,25 @@ func (k *KSM) SetPagesToScan(n int) {
 	k.cfg.PagesToScan = n
 }
 
-// Register adds a VM's mergeable regions to the scan list.
+// Register adds a VM's mergeable regions to the scan list. Regions that are
+// already registered are skipped, so Register followed by RegisterAll cannot
+// double-scan a VM.
 func (k *KSM) Register(vm *hypervisor.VMProcess) {
-	k.regions = append(k.regions, vm.MergeableRegions()...)
+	for _, reg := range vm.MergeableRegions() {
+		if !k.registered(reg) {
+			k.regions = append(k.regions, reg)
+		}
+	}
+}
+
+// registered reports whether an identical region is already on the scan list.
+func (k *KSM) registered(reg hypervisor.MergeableRegion) bool {
+	for _, r := range k.regions {
+		if r == reg {
+			return true
+		}
+	}
+	return false
 }
 
 // RegisterAll registers every VM currently on the host.
@@ -215,9 +231,11 @@ func (k *KSM) Stats() Stats {
 
 // ScanChunk examines up to n pages, advancing the circular cursor over all
 // registered regions. A full pass over every region ends the current
-// unstable generation and prunes dead stable nodes.
+// unstable generation and prunes dead stable nodes. Empty regions
+// (Start == End) are skipped: clamping the cursor into one would otherwise
+// scan reg.End itself, a page KSM was never madvised about.
 func (k *KSM) ScanChunk(n int) {
-	if len(k.regions) == 0 {
+	if !k.anyScannable() {
 		return
 	}
 	if k.regionIdx >= len(k.regions) {
@@ -225,6 +243,9 @@ func (k *KSM) ScanChunk(n int) {
 		k.cursor = 0
 	}
 	for i := 0; i < n; i++ {
+		for k.regions[k.regionIdx].Start >= k.regions[k.regionIdx].End {
+			k.advanceRegion()
+		}
 		reg := k.regions[k.regionIdx]
 		if k.cursor < reg.Start {
 			k.cursor = reg.Start
@@ -232,12 +253,7 @@ func (k *KSM) ScanChunk(n int) {
 		vpn := k.cursor
 		k.cursor++
 		if k.cursor >= reg.End {
-			k.regionIdx++
-			k.cursor = 0
-			if k.regionIdx >= len(k.regions) {
-				k.regionIdx = 0
-				k.endPass()
-			}
+			k.advanceRegion()
 		}
 		k.scanPage(reg.VM, vpn)
 		k.stats.PagesScanned++
@@ -245,9 +261,33 @@ func (k *KSM) ScanChunk(n int) {
 	k.stats.CPUBusy += simclock.Time(int64(n) * int64(k.cfg.ScanCostNanos) / 1000)
 }
 
+// anyScannable reports whether at least one registered region has pages.
+func (k *KSM) anyScannable() bool {
+	for _, reg := range k.regions {
+		if reg.Start < reg.End {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceRegion moves the cursor to the next region, ending the pass when it
+// wraps around the scan list.
+func (k *KSM) advanceRegion() {
+	k.regionIdx++
+	k.cursor = 0
+	if k.regionIdx >= len(k.regions) {
+		k.regionIdx = 0
+		k.endPass()
+	}
+}
+
 // endPass finishes a full scan of all regions: the unstable index is
-// dropped (as in Linux) and stable nodes whose last mapper went away are
-// pruned.
+// dropped (as in Linux), stable nodes whose last mapper went away are
+// pruned, and so are volatility-gate entries for pages that are no longer
+// scan candidates — swapped out, unmapped, or merged into a stable page.
+// Without that prune the checksum map grows with every page the scanner has
+// ever visited instead of staying proportional to the resident set.
 func (k *KSM) endPass() {
 	k.stats.FullScans++
 	k.unstable = make(map[uint64][]unstableEntry)
@@ -258,6 +298,12 @@ func (k *KSM) endPass() {
 			pm.SetKSM(f, false)
 			pm.DecRef(f)
 			k.stats.StalePruned++
+		}
+	}
+	for key := range k.checksums {
+		frame, resident := key.vm.ResolveResident(key.vpn)
+		if !resident || pm.IsKSM(frame) {
+			delete(k.checksums, key)
 		}
 	}
 }

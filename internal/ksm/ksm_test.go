@@ -346,6 +346,120 @@ func TestUnmergeRestoresPrivateCopies(t *testing.T) {
 	}
 }
 
+func TestEmptyRegionNeverScanned(t *testing.T) {
+	// Regression: with an empty registered region (Start == End) the cursor
+	// used to clamp to Start and scan reg.End itself — a page KSM was never
+	// madvised about. An empty-only scan list must scan nothing.
+	f := newFixture(t, 256, 1, 16, DefaultConfig())
+	f.k.regions = f.k.regions[:0]
+	base := f.vms[0].MergeableRegions()[0]
+	f.k.regions = append(f.k.regions, hypervisor.MergeableRegion{VM: f.vms[0], Start: base.Start, End: base.Start})
+	f.k.ScanChunk(64)
+	s := f.k.Stats()
+	if s.PagesScanned != 0 || s.NotResident != 0 {
+		t.Fatalf("empty region was scanned: %+v", s)
+	}
+}
+
+func TestEmptyRegionSkippedBetweenRegions(t *testing.T) {
+	// An empty region between two populated ones is stepped over without
+	// scanning out-of-range pages, and passes still complete.
+	f := newFixture(t, 256, 2, 8, DefaultConfig())
+	base := f.vms[0].MergeableRegions()[0]
+	empty := hypervisor.MergeableRegion{VM: f.vms[0], Start: base.End, End: base.End}
+	f.k.regions = []hypervisor.MergeableRegion{
+		f.vms[0].MergeableRegions()[0], empty, f.vms[1].MergeableRegions()[0],
+	}
+	f.vms[0].FillGuestPage(0, 7)
+	f.vms[1].FillGuestPage(0, 7)
+	f.scanPasses(3)
+	s := f.k.Stats()
+	if s.PagesShared != 1 {
+		t.Fatalf("merge across empty region failed: %+v", s)
+	}
+	// Each pass covers exactly the 16 real pages; the empty region adds
+	// none, so scanning 49 pages completes 3 full passes.
+	if s.FullScans != 3 {
+		t.Fatalf("FullScans = %d, want 3", s.FullScans)
+	}
+}
+
+func TestRegisterIsIdempotent(t *testing.T) {
+	// Register followed by RegisterAll (or a repeated Register) must not
+	// double-scan a VM.
+	f := newFixture(t, 256, 2, 8, DefaultConfig())
+	f.k.Register(f.vms[0])
+	f.k.RegisterAll()
+	if got := len(f.k.regions); got != 2 {
+		t.Fatalf("regions = %d, want 2 (one per VM)", got)
+	}
+	f.vms[0].FillGuestPage(0, 7)
+	f.vms[1].FillGuestPage(0, 7)
+	// One pass is 16 pages; a duplicated region would stretch it to 24.
+	f.k.ScanChunk(16)
+	if s := f.k.Stats(); s.FullScans != 1 {
+		t.Fatalf("FullScans = %d after one nominal pass, want 1", s.FullScans)
+	}
+}
+
+func TestChecksumMapPrunedOnSwapChurn(t *testing.T) {
+	// The volatility-gate map must stay proportional to the resident set,
+	// not grow with every page the scanner ever visited. Churn pages through
+	// swap by touching a guest twice the host's size.
+	clock := simclock.New()
+	// 64 host frames; the guest demands 128 pages, so earlier pages are
+	// evicted to swap as later ones fault in.
+	host := hypervisor.NewHost(hypervisor.Config{Name: "t", RAMBytes: 64 * pg, SwapBytes: 512 * pg}, clock)
+	vm := host.NewVM(hypervisor.VMConfig{Name: "vm", GuestMemBytes: 128 * pg, Seed: 1})
+	k := New(host, DefaultConfig())
+	k.RegisterAll()
+	for round := 0; round < 4; round++ {
+		for p := uint64(0); p < 128; p++ {
+			vm.FillGuestPage(p, mem.Seed(1000+p))
+		}
+		k.ScanChunk(128) // one full pass
+	}
+	resident := 0
+	for _, reg := range k.regions {
+		for vpn := reg.Start; vpn < reg.End; vpn++ {
+			if _, ok := vm.ResolveResident(vpn); ok {
+				resident++
+			}
+		}
+	}
+	if got := len(k.checksums); got > resident {
+		t.Fatalf("checksum map holds %d entries for %d resident pages", got, resident)
+	}
+	// Unmapping everything and finishing a pass empties the map.
+	for p := uint64(0); p < 128; p++ {
+		vm.ReleaseGuestPage(p)
+	}
+	k.ScanChunk(128)
+	if got := len(k.checksums); got != 0 {
+		t.Fatalf("checksum map holds %d entries after all pages released", got)
+	}
+}
+
+func TestChecksumEntriesForMergedPagesPruned(t *testing.T) {
+	f := newFixture(t, 256, 2, 8, DefaultConfig())
+	for i := uint64(0); i < 4; i++ {
+		f.vms[0].FillGuestPage(i, mem.Seed(50+i))
+		f.vms[1].FillGuestPage(i, mem.Seed(50+i))
+	}
+	f.scanPasses(4)
+	if f.k.Stats().PagesShared != 4 {
+		t.Fatalf("setup: %+v", f.k.Stats())
+	}
+	// All eight mapped pages point at stable frames now; their gate entries
+	// are dead weight and must have been pruned at the end of the pass.
+	for key := range f.k.checksums {
+		frame, ok := key.vm.ResolveResident(key.vpn)
+		if ok && f.host.Phys().IsKSM(frame) {
+			t.Fatalf("gate entry survives for merged page %v", key.vpn)
+		}
+	}
+}
+
 func TestHashOnlyModeMerges(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.HashOnly = true

@@ -46,12 +46,13 @@ type PhysMem struct {
 	free     []FrameID
 	inUse    int
 
-	zero []byte // canonical zero page for comparisons
+	zero    []byte // canonical zero page for comparisons
+	zeroSum uint64 // checksum of the zero page, precomputed per pool
 
 	// Statistics.
-	allocs      uint64
-	frees       uint64
-	materalized uint64
+	allocs       uint64
+	frees        uint64
+	materialized uint64
 }
 
 // NewPhysMem creates a pool holding totalBytes of physical memory divided
@@ -71,6 +72,10 @@ func NewPhysMem(totalBytes int64, pageSize int) *PhysMem {
 		free:     make([]FrameID, 0, n),
 		zero:     make([]byte, pageSize),
 	}
+	// Precomputed here rather than cached in a package-level map: pools in
+	// concurrently running clusters checksum zero frames without sharing any
+	// mutable state.
+	pm.zeroSum = ChecksumBytes(pm.zero)
 	// Push frames so that low frame numbers are handed out first; this keeps
 	// frame assignment deterministic and debuggable.
 	for i := int64(n) - 1; i >= 0; i-- {
@@ -203,7 +208,7 @@ func (pm *PhysMem) Write(id FrameID, off int, data []byte) {
 			return // zero write to a zero page is a no-op
 		}
 		f.data = make([]byte, pm.pageSize)
-		pm.materalized++
+		pm.materialized++
 	}
 	copy(f.data[off:], data)
 	f.sumValid = false
@@ -217,7 +222,7 @@ func (pm *PhysMem) FillFrame(id FrameID, seed Seed) {
 	}
 	if f.data == nil {
 		f.data = make([]byte, pm.pageSize)
-		pm.materalized++
+		pm.materialized++
 	}
 	Fill(f.data, seed)
 	f.sumValid = false
@@ -251,7 +256,7 @@ func (pm *PhysMem) CopyFrame(dst, src FrameID) {
 	}
 	if df.data == nil {
 		df.data = make([]byte, pm.pageSize)
-		pm.materalized++
+		pm.materialized++
 	}
 	copy(df.data, sf.data)
 }
@@ -290,23 +295,12 @@ func (pm *PhysMem) Checksum(id FrameID) uint64 {
 		return f.sum
 	}
 	if f.data == nil {
-		f.sum = zeroChecksumFor(pm.pageSize)
+		f.sum = pm.zeroSum
 	} else {
 		f.sum = ChecksumBytes(f.data)
 	}
 	f.sumValid = true
 	return f.sum
-}
-
-var zeroChecksums = map[int]uint64{}
-
-func zeroChecksumFor(pageSize int) uint64 {
-	if v, ok := zeroChecksums[pageSize]; ok {
-		return v
-	}
-	v := ChecksumBytes(make([]byte, pageSize))
-	zeroChecksums[pageSize] = v
-	return v
 }
 
 // Stats reports cumulative allocator statistics.
@@ -323,7 +317,7 @@ func (pm *PhysMem) Stats() Stats {
 	return Stats{
 		Allocs:       pm.allocs,
 		Frees:        pm.frees,
-		Materialized: pm.materalized,
+		Materialized: pm.materialized,
 		InUse:        pm.inUse,
 		Free:         len(pm.free),
 	}

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -176,6 +177,39 @@ func TestChecksumMatchesContent(t *testing.T) {
 	z, _ := pm.Alloc()
 	if pm.Checksum(z) != ChecksumBytes(make([]byte, DefaultPageSize)) {
 		t.Fatal("zero page checksum mismatch")
+	}
+}
+
+// TestChecksumZeroFramesConcurrentPools guards the fix for the shared
+// zero-checksum cache: checksumming zero frames used to write a
+// package-level map, a data race once two clusters (each with its own pool)
+// run concurrently. Run under -race, independent pools must be able to
+// checksum zero frames simultaneously.
+func TestChecksumZeroFramesConcurrentPools(t *testing.T) {
+	want := ChecksumBytes(make([]byte, DefaultPageSize))
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			pm := NewPhysMem(8*DefaultPageSize, DefaultPageSize)
+			for i := 0; i < 100; i++ {
+				id, err := pm.Alloc()
+				if err != nil {
+					done <- err
+					return
+				}
+				if got := pm.Checksum(id); got != want {
+					done <- fmt.Errorf("zero checksum = %#x, want %#x", got, want)
+					return
+				}
+				pm.DecRef(id)
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
