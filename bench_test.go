@@ -355,6 +355,31 @@ func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
 // only the wall clock differs.
 func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
 
+// --- Telemetry ----------------------------------------------------------------
+
+// benchSamplingCluster runs the DayTrader pair scenario with or without the
+// metrics registry attached; the Off/On pair below quantifies the sampling
+// overhead (the subsystem's budget is "negligible when off, cheap when on").
+func benchSamplingCluster(b *testing.B, enabled bool) {
+	for i := 0; i < b.N; i++ {
+		c := core.BuildCluster(core.ClusterConfig{
+			Scale: benchScale, Specs: []workload.Spec{workload.DayTrader()},
+			NumVMs: 2, SteadyRounds: 15, EnableMetrics: enabled,
+		})
+		c.Run()
+		if enabled && c.Metrics.Ticks() == 0 {
+			b.Fatal("no samples taken")
+		}
+	}
+}
+
+// BenchmarkSamplingOverheadOff is the metrics-disabled baseline.
+func BenchmarkSamplingOverheadOff(b *testing.B) { benchSamplingCluster(b, false) }
+
+// BenchmarkSamplingOverheadOn runs the same cluster with the registry
+// sampling every gauge at the default 500 ms cadence.
+func BenchmarkSamplingOverheadOn(b *testing.B) { benchSamplingCluster(b, true) }
+
 // --- Micro-benchmarks ---------------------------------------------------------
 
 // BenchmarkKSMScanPage measures the scanner's per-page cost over a warm

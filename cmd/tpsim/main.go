@@ -31,6 +31,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter steady state and sweeps")
 	csv := flag.Bool("csv", false, "emit CSV instead of rendered reports")
 	jobs := flag.Int("jobs", 0, "parallel cluster runs (0 = GOMAXPROCS, 1 = fully sequential)")
+	timeline := flag.Bool("timeline", false, "append an ASCII timeline of sampled metrics after each experiment")
+	metricsCSV := flag.Bool("metrics-csv", false, "append the sampled metrics series as CSV after each experiment")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -45,6 +47,8 @@ func main() {
 		Progress: printProgress,
 	}
 	asCSV = *csv
+	showTimeline = *timeline
+	showMetricsCSV = *metricsCSV
 	for _, id := range flag.Args() {
 		if err := run(id, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "tpsim: %v\n", err)
@@ -56,7 +60,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `tpsim — rerun the ISPASS 2013 TPS-in-Java experiments
 
-usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] <experiment>...
+usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] [-timeline] [-metrics-csv] <experiment>...
 
 experiments:
   table1..table4   the paper's configuration tables
@@ -75,6 +79,13 @@ experiments:
 
 // asCSV selects CSV output (set by -csv).
 var asCSV bool
+
+// showTimeline / showMetricsCSV append telemetry views after each
+// experiment's figure output (set by -timeline / -metrics-csv).
+var (
+	showTimeline   bool
+	showMetricsCSV bool
+)
 
 // printProgress reports fanned-out job completions on stderr.
 func printProgress(ev core.JobEvent) {
@@ -127,8 +138,33 @@ var allIDs = []string{"table1", "table2", "table3", "table4",
 	"fig2", "fig3a", "fig3b", "fig3c", "fig4", "fig5a", "fig5b", "fig5c",
 	"fig6", "fig7", "fig8"}
 
-// render produces the stdout text for one experiment id.
+// render produces the stdout text for one experiment id: the figure itself
+// plus, when -timeline or -metrics-csv is set, the telemetry of every
+// cluster the experiment ran. Each call gets its own collector, so in "all"
+// mode the series ride along inside the experiment's output string and the
+// submission-order collection keeps stdout unchanged at any -jobs width.
 func render(id string, opts core.Options) (string, error) {
+	if (showTimeline || showMetricsCSV) && id != "check" {
+		// "check" fans out claims that share one Options value, so per-claim
+		// collection order would not be deterministic; the self-test output
+		// stays figure-only.
+		opts.Telemetry = core.NewTelemetry()
+	}
+	out, err := renderFigure(id, opts)
+	if err != nil || opts.Telemetry == nil {
+		return out, err
+	}
+	if showTimeline {
+		out += opts.Telemetry.RenderTimelines()
+	}
+	if showMetricsCSV {
+		out += opts.Telemetry.CSV()
+	}
+	return out, nil
+}
+
+// renderFigure produces the figure text for one experiment id.
+func renderFigure(id string, opts core.Options) (string, error) {
 	switch id {
 	case "table1":
 		return tableText(core.Table1()), nil

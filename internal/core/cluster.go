@@ -16,6 +16,7 @@ import (
 	"repro/internal/ksm"
 	"repro/internal/mem"
 	"repro/internal/memanalysis"
+	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -108,6 +109,20 @@ type ClusterConfig struct {
 	RoundDuration simclock.Time
 	// EnableTrace records a timeline of experiment events (Cluster.Trace).
 	EnableTrace bool
+
+	// EnableMetrics attaches a telemetry registry (Cluster.Metrics) sampling
+	// KSM, physical-memory, JVM and swap gauges on a virtual-time cadence.
+	// Every probe is read-only, so results are identical with it on or off.
+	EnableMetrics bool
+	// MetricsInterval is the sampling cadence (0 = metrics.DefaultInterval).
+	MetricsInterval simclock.Time
+	// MetricsCapacity bounds each series ring (0 = metrics.DefaultCapacity).
+	MetricsCapacity int
+	// AdaptiveWarmup replaces the fixed warm-up duration with the
+	// convergence detector: after the warm-up traffic, the scanner keeps
+	// running at the fast rate only until the merged-pages series flattens
+	// (capped at twice the fixed duration). Implies EnableMetrics.
+	AdaptiveWarmup bool
 }
 
 // withDefaults fills zero fields.
@@ -139,6 +154,9 @@ func (cfg ClusterConfig) withDefaults() ClusterConfig {
 	if cfg.RoundDuration == 0 {
 		cfg.RoundDuration = simclock.Second
 	}
+	if cfg.AdaptiveWarmup {
+		cfg.EnableMetrics = true
+	}
 	return cfg
 }
 
@@ -157,8 +175,12 @@ type Cluster struct {
 	Scanner *ksm.KSM
 	// Trace is the experiment timeline (nil unless EnableTrace).
 	Trace *trace.Log
+	// Metrics is the telemetry registry (nil unless EnableMetrics). All the
+	// metrics API is nil-safe, so callers never branch on it.
+	Metrics *metrics.Registry
 
-	images map[string]*cds.Image
+	images      map[string]*cds.Image
+	warmupEnded simclock.Time
 }
 
 // BuildCluster assembles the host, guests and workloads but does not run
@@ -192,6 +214,16 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 	c.Scanner = ksm.New(host, kcfg)
 	if !cfg.DisableKSM {
 		c.Scanner.Start()
+	}
+	if cfg.EnableMetrics {
+		c.Metrics = metrics.New(clock, metrics.Config{
+			Interval: cfg.MetricsInterval,
+			Capacity: cfg.MetricsCapacity,
+		})
+		c.instrument()
+		// Started before the first guest boots so the series cover the
+		// provisioning ramp, not just warm-up and steady state.
+		c.Metrics.Start()
 	}
 	for i := 0; i < cfg.NumVMs; i++ {
 		spec := cfg.Specs[i%len(cfg.Specs)]
@@ -304,6 +336,89 @@ func (c *Cluster) totalGuestPages() int {
 	return total
 }
 
+// instrument registers the cluster's gauges on the metrics registry. All
+// probes are read-only views of simulation state; none may mutate it, which
+// is what keeps a metrics-on run bit-identical to a metrics-off run.
+func (c *Cluster) instrument() {
+	r := c.Metrics
+	pm := c.Host.Phys()
+	r.Gauge("mem.frames_in_use", func() float64 { return float64(pm.FramesInUse()) })
+	r.Gauge("mem.frames_free", func() float64 { return float64(pm.FreeFrames()) })
+	r.Gauge("mem.frames_ksm", func() float64 { return float64(pm.KSMFrames()) })
+	r.Gauge("mem.frames_zero", func() float64 { return float64(pm.ZeroFrames()) })
+	r.Gauge("host.free_bytes", func() float64 { return float64(c.Host.FreeBytes()) })
+	r.Gauge("host.swap_used_bytes", func() float64 { return float64(c.Host.SwapUsedBytes()) })
+	r.Gauge("host.major_faults", func() float64 { return float64(c.Host.Stats().MajorFaults) })
+	r.Gauge("host.swap_outs", func() float64 { return float64(c.Host.Stats().SwapOuts) })
+	r.Gauge("host.cow_breaks", func() float64 { return float64(c.Host.Stats().COWBreaks) })
+	c.Scanner.Instrument(r)
+	// JVM gauges aggregate over c.Workers through the closure, so instances
+	// deployed after Start are picked up by the next sample automatically.
+	r.Gauge("jvm.heap_used_bytes", func() float64 {
+		var total int64
+		for _, w := range c.Workers {
+			total += w.JVM.Heap().UsedBytes()
+		}
+		return float64(total)
+	})
+	r.Gauge("jvm.heap_capacity_bytes", func() float64 {
+		var total int64
+		for _, w := range c.Workers {
+			total += w.JVM.Heap().CapacityBytes()
+		}
+		return float64(total)
+	})
+	r.Gauge("jvm.minor_gcs", func() float64 {
+		var total uint64
+		for _, w := range c.Workers {
+			total += w.JVM.Heap().Stats().MinorGCs
+		}
+		return float64(total)
+	})
+	r.Gauge("jvm.major_gcs", func() float64 {
+		var total uint64
+		for _, w := range c.Workers {
+			total += w.JVM.Heap().Stats().MajorGCs
+		}
+		return float64(total)
+	})
+	r.Gauge("jvm.classes_loaded", func() float64 {
+		total := 0
+		for _, w := range c.Workers {
+			total += w.JVM.LoadStats().ClassesLoaded
+		}
+		return float64(total)
+	})
+	r.Gauge("jvm.live_objects", func() float64 {
+		total := 0
+		for _, w := range c.Workers {
+			total += w.JVM.Heap().LiveObjects()
+		}
+		return float64(total)
+	})
+}
+
+// WaitConverged drives the clock forward, one sample interval at a time,
+// until the cumulative merged-pages series flattens per cc or maxWait
+// virtual time elapses. It returns the retrospective convergence point (the
+// start of the earliest flat window over the whole series) and whether one
+// was found. Requires EnableMetrics.
+func (c *Cluster) WaitConverged(cc metrics.ConvergenceConfig, maxWait simclock.Time) (simclock.Time, bool) {
+	if c.Metrics == nil {
+		panic("core: WaitConverged requires ClusterConfig.EnableMetrics")
+	}
+	s := c.Metrics.Get("ksm.pages_merged")
+	deadline := c.Clock.Now() + maxWait
+	for !cc.Steady(s) && c.Clock.Now() < deadline {
+		c.Clock.RunFor(c.Metrics.Interval())
+	}
+	return cc.ConvergedAt(s)
+}
+
+// WarmupEnded reports the virtual time at which RunWarmup returned (zero
+// before warm-up completes).
+func (c *Cluster) WarmupEnded() simclock.Time { return c.warmupEnded }
+
 // RunWarmup runs the paper's warm-up phase: scenario initialization traffic
 // on every guest, interleaved with KSM at the fast 10 000 pages/100 ms
 // setting, until the configured number of full passes completes; then the
@@ -312,6 +427,7 @@ func (c *Cluster) RunWarmup() {
 	c.Trace.Emit(trace.KindPhase, "cluster", "warm-up begins (scanner at 10000 pages/100ms)")
 	wakeupsPerPass := c.totalGuestPages()/10000 + 1
 	slices := c.Cfg.WarmupPasses * 2
+	fixedSlice := simclock.Time(wakeupsPerPass*c.Cfg.WarmupPasses/slices+1) * 100 * simclock.Millisecond
 	for s := 0; s < slices; s++ {
 		for _, w := range c.Workers {
 			n := w.WarmupTarget() / slices
@@ -320,9 +436,28 @@ func (c *Cluster) RunWarmup() {
 			}
 			w.RunSteadyState(n)
 		}
-		c.Clock.RunFor(simclock.Time(wakeupsPerPass*c.Cfg.WarmupPasses/slices+1) * 100 * simclock.Millisecond)
+		if c.Cfg.AdaptiveWarmup {
+			// Just long enough for the scanner to absorb the traffic slice;
+			// the convergence detector supplies the rest of the duration.
+			c.Clock.RunFor(100 * simclock.Millisecond)
+		} else {
+			c.Clock.RunFor(fixedSlice)
+		}
+	}
+	if c.Cfg.AdaptiveWarmup {
+		// Keep fast-scanning until the merged-pages series flattens, capped
+		// at twice the fixed warm-up so a non-converging run still ends.
+		maxWait := 2 * fixedSlice * simclock.Time(slices)
+		if at, ok := c.WaitConverged(metrics.ConvergenceConfig{}, maxWait); ok {
+			c.Trace.Emit(trace.KindScanner, "ksm",
+				"merged-pages series converged at %.1fs", at.Seconds())
+		} else {
+			c.Trace.Emit(trace.KindScanner, "ksm",
+				"merged-pages series did not converge within %.1fs cap", maxWait.Seconds())
+		}
 	}
 	c.Scanner.SetPagesToScan(1000)
+	c.warmupEnded = c.Clock.Now()
 	st := c.Scanner.Stats()
 	c.Trace.Emit(trace.KindScanner, "ksm",
 		"warm-up done: %d full scans, %d MB saved, CPU %.1f%%; dropping to 1000 pages/100ms",

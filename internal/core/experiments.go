@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/jvm"
 	"repro/internal/mem"
 	"repro/internal/memanalysis"
@@ -27,6 +29,11 @@ type Options struct {
 	// Progress, when set, receives a JobEvent as each fanned-out job starts
 	// and finishes (cmd/tpsim routes these to stderr).
 	Progress func(JobEvent)
+	// Telemetry, when set, enables metrics sampling on every cluster the
+	// experiment builds and collects each run's registry for rendering after
+	// the fan-out completes (tpsim -timeline / -metrics-csv). Sampling is
+	// read-only, so figures are unchanged by it.
+	Telemetry *Telemetry
 }
 
 func (o Options) scale() int {
@@ -180,7 +187,10 @@ func dayTraderCluster(o Options, shared bool) *Cluster {
 	if o.Quick {
 		cfg.SteadyRounds = 15
 	}
-	return BuildCluster(cfg)
+	cfg.EnableMetrics = o.Telemetry != nil
+	c := BuildCluster(cfg)
+	o.Telemetry.Collect(fmt.Sprintf("daytrader x4 shared=%v", shared), c.Metrics)
+	return c
 }
 
 // Fig2 runs the baseline (no preloading) DayTrader scenario and returns the
@@ -219,7 +229,10 @@ func mixedCluster(o Options, shared bool) *Cluster {
 	if o.Quick {
 		cfg.SteadyRounds = 15
 	}
-	return BuildCluster(cfg)
+	cfg.EnableMetrics = o.Telemetry != nil
+	c := BuildCluster(cfg)
+	o.Telemetry.Collect(fmt.Sprintf("mixed x3 shared=%v", shared), c.Metrics)
+	return c
 }
 
 // Fig3b runs the mixed-workload baseline breakdown.
@@ -254,7 +267,10 @@ func tuscanyCluster(o Options, shared bool) *Cluster {
 	if o.Quick {
 		cfg.SteadyRounds = 15
 	}
-	return BuildCluster(cfg)
+	cfg.EnableMetrics = o.Telemetry != nil
+	c := BuildCluster(cfg)
+	o.Telemetry.Collect(fmt.Sprintf("tuscany x3 shared=%v", shared), c.Metrics)
+	return c
 }
 
 // Fig3c runs the Tuscany baseline breakdown.

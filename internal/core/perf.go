@@ -223,8 +223,10 @@ func sweep(o Options, id, title, unit string, spec workload.Spec, counts []int, 
 		for _, shared := range []bool{false, true} {
 			for rep := 0; rep < reps; rep++ {
 				n, shared, rep := n, shared, rep
+				seq := len(jobs)
+				label := fmt.Sprintf("%s n=%d shared=%v rep=%d", id, n, shared, rep+1)
 				jobs = append(jobs, Job[sweepSample]{
-					Label: fmt.Sprintf("%s n=%d shared=%v rep=%d", id, n, shared, rep+1),
+					Label: label,
 					Run: func() sweepSample {
 						cfg := ClusterConfig{
 							Scale:         o.scale(),
@@ -237,8 +239,10 @@ func sweep(o Options, id, title, unit string, spec workload.Spec, counts []int, 
 							// is what exposes over-commitment as faults.
 							SteadyRounds:       8,
 							IterationsPerRound: 25,
+							EnableMetrics:      o.Telemetry != nil,
 						}
 						c := BuildCluster(cfg)
+						o.Telemetry.CollectAt(seq, label, c.Metrics)
 						c.Run()
 						perf := c.MeasurePerf(20)
 						s := sweepSample{violated: AnySLAViolated(perf)}

@@ -129,6 +129,14 @@ func (h *Heap) Policy() GCPolicy { return h.policy }
 // tenured objects).
 func (h *Heap) LiveObjects() int { return len(h.live) + len(h.old) - h.oldDead }
 
+// UsedBytes reports the bytes currently occupied below the allocation
+// points: the (nursery) space fill plus, under gencon, the tenured fill.
+// The telemetry layer samples it as the heap-occupancy gauge.
+func (h *Heap) UsedBytes() int64 { return h.allocOff + h.tenuredOff }
+
+// CapacityBytes reports the total heap capacity across spaces.
+func (h *Heap) CapacityBytes() int64 { return h.spaceBytes + h.tenuredBytes }
+
 // spaceBase returns the byte address of the (nursery) space.
 func (h *Heap) spaceBase() Addr { return Addr(int64(h.space.Start) * int64(h.pageSize)) }
 

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/simclock"
 )
 
@@ -117,8 +118,9 @@ type KSM struct {
 	regionIdx int
 	cursor    mem.VPN
 
-	stable   *stableTreap
-	unstable map[uint64][]unstableEntry
+	stable    *stableTreap
+	unstable  map[uint64][]unstableEntry
+	unstableN int // entries across all unstable buckets (telemetry gauge)
 	// checksums remembers the last-seen checksum per page for the
 	// volatility gate.
 	checksums map[pageKey]uint64
@@ -126,6 +128,9 @@ type KSM struct {
 	running bool
 	started simclock.Time
 	stats   Stats
+	// passStart snapshots the counters at the start of the current pass, so
+	// telemetry can expose per-pass activity alongside the cumulative run.
+	passStart Stats
 }
 
 // New creates a scanner for the host and registers the COW-break hook so
@@ -291,6 +296,7 @@ func (k *KSM) advanceRegion() {
 func (k *KSM) endPass() {
 	k.stats.FullScans++
 	k.unstable = make(map[uint64][]unstableEntry)
+	k.unstableN = 0
 	pm := k.host.Phys()
 	for _, f := range k.stable.frames() {
 		if pm.RefCount(f) == 1 { // only the tree holds it
@@ -306,6 +312,7 @@ func (k *KSM) endPass() {
 			delete(k.checksums, key)
 		}
 	}
+	k.passStart = k.stats
 }
 
 // scanPage runs the merge pipeline on one candidate page.
@@ -369,9 +376,57 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) {
 		// Drop the promoted entry from the bucket.
 		bucket = append(bucket[:bi], bucket[bi+1:]...)
 		k.unstable[sum] = bucket
+		k.unstableN--
 		return
 	}
 	k.unstable[sum] = append(bucket, unstableEntry{key: key, checksum: sum})
+	k.unstableN++
+}
+
+// Instrument registers the scanner's telemetry gauges on the registry.
+// Cumulative counters come straight from the stats block; "ksm.pass.*"
+// gauges report activity within the current pass (counter minus the
+// end-of-last-pass snapshot), so a timeline shows per-pass effort even
+// after the cumulative totals dwarf it. The sharing totals need a stable
+// treap walk, so they share one Stats snapshot per sample timestamp.
+// A nil registry is a no-op, matching the rest of the metrics API.
+func (k *KSM) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	var (
+		snapAt    simclock.Time = -1
+		snapStats Stats
+	)
+	snapshot := func() Stats {
+		if now := k.host.Clock().Now(); now != snapAt {
+			snapAt = now
+			snapStats = k.Stats()
+		}
+		return snapStats
+	}
+	r.Gauge("ksm.pages_scanned", func() float64 { return float64(k.stats.PagesScanned) })
+	r.Gauge("ksm.pages_merged", func() float64 {
+		return float64(k.stats.StableMerges + k.stats.UnstableMerges)
+	})
+	r.Gauge("ksm.pages_unmerged", func() float64 { return float64(k.stats.COWBreaks) })
+	r.Gauge("ksm.pages_volatile", func() float64 { return float64(k.stats.ChecksumSkips) })
+	r.Gauge("ksm.full_scans", func() float64 { return float64(k.stats.FullScans) })
+	r.Gauge("ksm.stable_tree_size", func() float64 { return float64(k.stable.size) })
+	r.Gauge("ksm.unstable_entries", func() float64 { return float64(k.unstableN) })
+	r.Gauge("ksm.pages_shared", func() float64 { return float64(snapshot().PagesShared) })
+	r.Gauge("ksm.pages_sharing", func() float64 { return float64(snapshot().PagesSharing) })
+	r.Gauge("ksm.saved_bytes", func() float64 { return float64(snapshot().SavedBytes) })
+	r.Gauge("ksm.pass.pages_scanned", func() float64 {
+		return float64(k.stats.PagesScanned - k.passStart.PagesScanned)
+	})
+	r.Gauge("ksm.pass.pages_merged", func() float64 {
+		return float64(k.stats.StableMerges + k.stats.UnstableMerges -
+			k.passStart.StableMerges - k.passStart.UnstableMerges)
+	})
+	r.Gauge("ksm.pass.pages_volatile", func() float64 {
+		return float64(k.stats.ChecksumSkips - k.passStart.ChecksumSkips)
+	})
 }
 
 // onCOWBreak keeps break statistics; frame lifecycle is handled by refcounts
@@ -410,5 +465,6 @@ func (k *KSM) Unmerge() {
 		k.stats.StalePruned++
 	}
 	k.unstable = make(map[uint64][]unstableEntry)
+	k.unstableN = 0
 	k.checksums = make(map[pageKey]uint64)
 }

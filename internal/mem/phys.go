@@ -53,6 +53,10 @@ type PhysMem struct {
 	allocs       uint64
 	frees        uint64
 	materialized uint64
+	// Gauges maintained at state transitions so telemetry sampling never
+	// has to walk the frame array.
+	ksmFrames  int // frames flagged as KSM stable pages
+	zeroFrames int // in-use frames still backed by the lazy zero page
 }
 
 // NewPhysMem creates a pool holding totalBytes of physical memory divided
@@ -99,6 +103,14 @@ func (pm *PhysMem) FreeFrames() int { return len(pm.free) }
 // BytesInUse reports allocated physical memory in bytes.
 func (pm *PhysMem) BytesInUse() int64 { return int64(pm.inUse) * int64(pm.pageSize) }
 
+// KSMFrames reports how many frames are currently KSM stable pages.
+func (pm *PhysMem) KSMFrames() int { return pm.ksmFrames }
+
+// ZeroFrames reports how many in-use frames are still lazily zero (never
+// materialized, or reset by ZeroFrame). A frame whose materialized bytes
+// happen to be all zero does not count; the gauge tracks the untouched set.
+func (pm *PhysMem) ZeroFrames() int { return pm.zeroFrames }
+
 // Alloc hands out a zeroed frame with refcount 1.
 func (pm *PhysMem) Alloc() (FrameID, error) {
 	if len(pm.free) == 0 {
@@ -113,6 +125,7 @@ func (pm *PhysMem) Alloc() (FrameID, error) {
 	f.sumValid = false
 	pm.inUse++
 	pm.allocs++
+	pm.zeroFrames++
 	return id, nil
 }
 
@@ -143,6 +156,12 @@ func (pm *PhysMem) DecRef(id FrameID) {
 	f := pm.frameAt(id)
 	f.refcnt--
 	if f.refcnt == 0 {
+		if f.data == nil {
+			pm.zeroFrames--
+		}
+		if f.ksm {
+			pm.ksmFrames--
+		}
 		f.data = nil
 		f.ksm = false
 		pm.free = append(pm.free, id)
@@ -154,7 +173,13 @@ func (pm *PhysMem) DecRef(id FrameID) {
 // SetKSM marks or clears the frame's KSM stable-page flag. KSM stable pages
 // are shared copy-on-write; the flag lets the analyzer attribute savings.
 func (pm *PhysMem) SetKSM(id FrameID, v bool) {
-	pm.frameAt(id).ksm = v
+	f := pm.frameAt(id)
+	if v && !f.ksm {
+		pm.ksmFrames++
+	} else if !v && f.ksm {
+		pm.ksmFrames--
+	}
+	f.ksm = v
 }
 
 // IsKSM reports whether the frame is a KSM stable page.
@@ -209,6 +234,7 @@ func (pm *PhysMem) Write(id FrameID, off int, data []byte) {
 		}
 		f.data = make([]byte, pm.pageSize)
 		pm.materialized++
+		pm.zeroFrames--
 	}
 	copy(f.data[off:], data)
 	f.sumValid = false
@@ -223,6 +249,7 @@ func (pm *PhysMem) FillFrame(id FrameID, seed Seed) {
 	if f.data == nil {
 		f.data = make([]byte, pm.pageSize)
 		pm.materialized++
+		pm.zeroFrames--
 	}
 	Fill(f.data, seed)
 	f.sumValid = false
@@ -234,6 +261,9 @@ func (pm *PhysMem) ZeroFrame(id FrameID) {
 	f := pm.frameAt(id)
 	if f.ksm {
 		panic(fmt.Sprintf("mem: direct zero of KSM stable frame %d", id))
+	}
+	if f.data != nil {
+		pm.zeroFrames++
 	}
 	f.data = nil
 	f.sumValid = false
@@ -251,12 +281,16 @@ func (pm *PhysMem) CopyFrame(dst, src FrameID) {
 	}
 	df.sumValid = false
 	if sf.data == nil {
+		if df.data != nil {
+			pm.zeroFrames++
+		}
 		df.data = nil
 		return
 	}
 	if df.data == nil {
 		df.data = make([]byte, pm.pageSize)
 		pm.materialized++
+		pm.zeroFrames--
 	}
 	copy(df.data, sf.data)
 }

@@ -300,3 +300,74 @@ func TestHashStringStable(t *testing.T) {
 		t.Fatal("trivial collision")
 	}
 }
+
+// TestGaugeCountersTrackTransitions walks a frame through every lifecycle
+// transition and checks the maintained KSMFrames/ZeroFrames gauges against
+// a brute-force recount, so telemetry sampling never needs a frame walk.
+func TestGaugeCountersTrackTransitions(t *testing.T) {
+	pm := newPool(t, 8)
+	recount := func() (ksm, zero int) {
+		for id := 0; id < pm.TotalFrames(); id++ {
+			f := FrameID(id)
+			if pm.frames[id].refcnt <= 0 {
+				continue
+			}
+			if pm.IsKSM(f) {
+				ksm++
+			}
+			if pm.frames[id].data == nil {
+				zero++
+			}
+		}
+		return
+	}
+	check := func(step string) {
+		t.Helper()
+		ksm, zero := recount()
+		if pm.KSMFrames() != ksm || pm.ZeroFrames() != zero {
+			t.Fatalf("%s: gauges ksm=%d zero=%d, recount ksm=%d zero=%d",
+				step, pm.KSMFrames(), pm.ZeroFrames(), ksm, zero)
+		}
+	}
+
+	a, _ := pm.Alloc()
+	b, _ := pm.Alloc()
+	c, _ := pm.Alloc()
+	check("alloc x3 (all lazily zero)")
+
+	pm.Write(a, 0, []byte{1, 2, 3})
+	check("write materializes a")
+	pm.Write(b, 0, []byte{0, 0}) // zero write keeps b lazy
+	check("zero write keeps b lazy")
+	pm.FillFrame(b, Seed(7))
+	check("fill materializes b")
+	pm.ZeroFrame(b)
+	check("zero-frame returns b to lazy")
+	pm.ZeroFrame(b) // already lazy: no double count
+	check("double zero-frame")
+
+	pm.CopyFrame(c, a)
+	check("copy materialized a into c")
+	pm.CopyFrame(c, b)
+	check("copy lazy b back into c")
+
+	pm.SetKSM(a, true)
+	pm.SetKSM(a, true) // idempotent
+	check("mark a KSM")
+	pm.SetKSM(a, false)
+	pm.SetKSM(a, false)
+	check("unmark a KSM")
+
+	pm.SetKSM(a, true)
+	pm.IncRef(a)
+	pm.DecRef(a)
+	check("shared KSM frame drops one ref")
+	pm.DecRef(a)
+	check("free KSM frame clears gauge")
+	pm.DecRef(b)
+	pm.DecRef(c)
+	check("free remaining")
+	if pm.KSMFrames() != 0 || pm.ZeroFrames() != 0 {
+		t.Fatalf("gauges not zero after freeing all: ksm=%d zero=%d", pm.KSMFrames(), pm.ZeroFrames())
+	}
+}

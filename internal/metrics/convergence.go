@@ -1,0 +1,86 @@
+package metrics
+
+import "repro/internal/simclock"
+
+// ConvergenceConfig tunes the steady-state detector. The detector declares
+// a series converged at the first sample window over which the value stays
+// inside a relative tolerance band — for KSM's cumulative merged-pages
+// counter that is exactly "the merge rate has flattened", the condition the
+// paper waits for (§2.C) before taking its breakdowns.
+type ConvergenceConfig struct {
+	// Window is the number of consecutive samples that must stay inside the
+	// band (0 = DefaultWindow). At the default 500 ms cadence the default
+	// window spans 8 s of virtual time — long enough to bridge the idle gap
+	// between KSM wake-ups and between sequential guest boots.
+	Window int
+	// Tolerance is the relative band width (0 = DefaultTolerance): a window
+	// is flat when max-min <= Tolerance * max(|max|, 1).
+	Tolerance float64
+}
+
+// Detector defaults.
+const (
+	DefaultWindow    = 16
+	DefaultTolerance = 0.02
+)
+
+func (cc ConvergenceConfig) withDefaults() ConvergenceConfig {
+	if cc.Window <= 0 {
+		cc.Window = DefaultWindow
+	}
+	if cc.Tolerance <= 0 {
+		cc.Tolerance = DefaultTolerance
+	}
+	return cc
+}
+
+// flat reports whether samples [i, i+Window) of s stay inside the band.
+func (cc ConvergenceConfig) flat(s *Series, i int) bool {
+	lo := s.At(i).V
+	hi := lo
+	for j := i + 1; j < i+cc.Window; j++ {
+		v := s.At(j).V
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := hi
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return hi-lo <= cc.Tolerance*scale
+}
+
+// Steady reports whether the trailing Window samples of the series are
+// flat — the online form of the detector, cheap enough to evaluate after
+// every clock step while waiting for convergence.
+func (cc ConvergenceConfig) Steady(s *Series) bool {
+	cc = cc.withDefaults()
+	if s == nil || s.Len() < cc.Window {
+		return false
+	}
+	return cc.flat(s, s.Len()-cc.Window)
+}
+
+// ConvergedAt scans the whole retained series for the earliest flat window
+// and returns the virtual time of that window's first sample — the moment
+// an online detector would have fired. ok is false when the series never
+// flattens (or is shorter than the window).
+func (cc ConvergenceConfig) ConvergedAt(s *Series) (simclock.Time, bool) {
+	cc = cc.withDefaults()
+	if s == nil || s.Len() < cc.Window {
+		return 0, false
+	}
+	for i := 0; i+cc.Window <= s.Len(); i++ {
+		if cc.flat(s, i) {
+			return s.At(i).At, true
+		}
+	}
+	return 0, false
+}

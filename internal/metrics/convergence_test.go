@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// rampSeries builds a cumulative counter shape: a fast ramp for rampN
+// samples, then a plateau (with optional per-sample trickle) for flatN.
+func rampSeries(rampN, flatN int, rampStep, trickle float64) *Series {
+	s := newSeries("ramp", rampN+flatN)
+	v := 0.0
+	at := simclock.Time(0)
+	for i := 0; i < rampN; i++ {
+		v += rampStep
+		s.append(at, v)
+		at += simclock.Second
+	}
+	for i := 0; i < flatN; i++ {
+		v += trickle
+		s.append(at, v)
+		at += simclock.Second
+	}
+	return s
+}
+
+func TestConvergedAtFindsPlateauStart(t *testing.T) {
+	cc := ConvergenceConfig{Window: 8, Tolerance: 0.02}
+	s := rampSeries(20, 30, 100, 0)
+	at, ok := cc.ConvergedAt(s)
+	if !ok {
+		t.Fatal("no convergence on ramp+plateau")
+	}
+	// The first flat window starts at the last ramp sample (the window
+	// [19, 27) spans the final ramp value and seven identical samples —
+	// max-min = 0 there is not right: sample 19 is the last increment, so
+	// the earliest fully flat window starts at index 19 only if samples
+	// 19..26 are within band. Sample 19 is the ramp top (2000), samples
+	// 20.. are also 2000: flat from index 19.
+	if want := simclock.Time(19) * simclock.Second; at != want {
+		t.Fatalf("converged at %v, want %v", at, want)
+	}
+}
+
+func TestConvergedAtToleratesTrickle(t *testing.T) {
+	cc := ConvergenceConfig{Window: 8, Tolerance: 0.02}
+	// Plateau grows by 1/sample against a 2000 total: 7 per window is well
+	// inside the 2% band (40).
+	s := rampSeries(20, 30, 100, 1)
+	if _, ok := cc.ConvergedAt(s); !ok {
+		t.Fatal("trickle within tolerance should converge")
+	}
+}
+
+func TestConvergedAtRejectsOngoingRamp(t *testing.T) {
+	cc := ConvergenceConfig{Window: 8, Tolerance: 0.02}
+	s := rampSeries(40, 0, 100, 0)
+	if _, ok := cc.ConvergedAt(s); ok {
+		t.Fatal("pure ramp must not converge")
+	}
+	short := rampSeries(3, 0, 1, 0)
+	if _, ok := cc.ConvergedAt(short); ok {
+		t.Fatal("series shorter than the window must not converge")
+	}
+}
+
+func TestSteadyTrailingWindow(t *testing.T) {
+	cc := ConvergenceConfig{Window: 8, Tolerance: 0.02}
+	growing := rampSeries(30, 0, 100, 0)
+	if cc.Steady(growing) {
+		t.Fatal("growing series reported steady")
+	}
+	settled := rampSeries(20, 10, 100, 0)
+	if !cc.Steady(settled) {
+		t.Fatal("settled series not reported steady")
+	}
+	if cc.Steady(nil) {
+		t.Fatal("nil series reported steady")
+	}
+}
+
+func TestDetectorDefaults(t *testing.T) {
+	cc := ConvergenceConfig{}.withDefaults()
+	if cc.Window != DefaultWindow || cc.Tolerance != DefaultTolerance {
+		t.Fatalf("defaults = %+v", cc)
+	}
+	// The zero config works directly through the public entry points.
+	s := rampSeries(20, DefaultWindow+4, 100, 0)
+	if _, ok := (ConvergenceConfig{}).ConvergedAt(s); !ok {
+		t.Fatal("zero-config detector failed on plateau")
+	}
+}
+
+func TestDetectorNearZeroSeries(t *testing.T) {
+	// A series hovering at tiny absolute values uses the max(|max|,1)
+	// floor, so noise around zero converges instead of dividing by ~0.
+	s := newSeries("z", 32)
+	for i := 0; i < 32; i++ {
+		v := 0.0
+		if i%2 == 0 {
+			v = 0.01
+		}
+		s.append(simclock.Time(i), v)
+	}
+	if _, ok := (ConvergenceConfig{Window: 8, Tolerance: 0.02}).ConvergedAt(s); !ok {
+		t.Fatal("near-zero noise should be inside the absolute floor band")
+	}
+}

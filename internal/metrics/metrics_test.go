@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestSeriesRingBounded(t *testing.T) {
+	s := newSeries("x", 4)
+	for i := 0; i < 10; i++ {
+		s.append(simclock.Time(i), float64(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4", s.Len())
+	}
+	if s.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", s.Dropped())
+	}
+	for i := 0; i < 4; i++ {
+		want := float64(6 + i)
+		if got := s.At(i).V; got != want {
+			t.Fatalf("At(%d) = %g, want %g", i, got, want)
+		}
+	}
+	if last, ok := s.Last(); !ok || last.V != 9 {
+		t.Fatalf("Last = %v %v", last, ok)
+	}
+	if s.Min() != 6 || s.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if vs := s.Values(); len(vs) != 4 || vs[0] != 6 || vs[3] != 9 {
+		t.Fatalf("values = %v", vs)
+	}
+}
+
+func TestNilRegistryInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("anything")
+	c.Add(5) // must not panic
+	c.Inc()
+	r.Gauge("g", func() float64 { return 1 })
+	r.Start()
+	r.Sample()
+	r.Stop()
+	if c.Value() != 0 || r.Get("g") != nil || r.All() != nil ||
+		r.CSV() != "" || r.PrometheusText() != "" || r.Ticks() != 0 {
+		t.Fatal("nil registry not inert")
+	}
+}
+
+func TestRegistrySamplesOnCadence(t *testing.T) {
+	clock := simclock.New()
+	r := New(clock, Config{Interval: simclock.Second, Capacity: 64})
+	n := 0.0
+	r.Gauge("ticker", func() float64 { n++; return n })
+	cnt := r.Counter("events")
+	r.Start()
+	cnt.Add(3)
+	clock.RunFor(5 * simclock.Second)
+	s := r.Get("ticker")
+	// One baseline sample at Start plus five periodic samples.
+	if s.Len() != 6 {
+		t.Fatalf("samples = %d, want 6", s.Len())
+	}
+	if s.At(0).At != 0 || s.At(5).At != 5*simclock.Second {
+		t.Fatalf("sample times: %v .. %v", s.At(0).At, s.At(5).At)
+	}
+	ev := r.Get("events")
+	if ev.At(0).V != 0 || ev.At(1).V != 3 {
+		t.Fatalf("counter series: baseline %g then %g", ev.At(0).V, ev.At(1).V)
+	}
+	r.Stop()
+	clock.RunFor(5 * simclock.Second)
+	if s.Len() != 6 { // the pending tick sees the stop and takes no sample
+		t.Fatalf("samples after stop = %d, want 6", s.Len())
+	}
+}
+
+func TestRegistryDeterministicOrder(t *testing.T) {
+	clock := simclock.New()
+	r := New(clock, Config{})
+	r.Gauge("zebra", func() float64 { return 1 })
+	r.Gauge("alpha", func() float64 { return 2 })
+	r.Counter("mid.counter")
+	names := []string{}
+	for _, s := range r.All() {
+		names = append(names, s.Name())
+	}
+	if strings.Join(names, " ") != "alpha mid.counter zebra" {
+		t.Fatalf("series order = %v", names)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate metric")
+		}
+	}()
+	r := New(simclock.New(), Config{})
+	r.Gauge("dup", func() float64 { return 0 })
+	r.Counter("dup")
+}
+
+func TestCSVWideFormat(t *testing.T) {
+	clock := simclock.New()
+	r := New(clock, Config{Interval: simclock.Second})
+	r.Gauge("b.second", func() float64 { return 2 })
+	r.Gauge("a.first", func() float64 { return float64(clock.Now() / simclock.Second) })
+	r.Start()
+	clock.RunFor(2 * simclock.Second)
+	got := r.CSV()
+	want := "time_s,a.first,b.second\n" +
+		"0.000,0,2\n" +
+		"1.000,1,2\n" +
+		"2.000,2,2\n"
+	if got != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCSVLateRegisteredSeries(t *testing.T) {
+	clock := simclock.New()
+	r := New(clock, Config{Interval: simclock.Second})
+	r.Gauge("early", func() float64 { return 1 })
+	r.Start()
+	clock.RunFor(simclock.Second)
+	r.Gauge("late", func() float64 { return 9 })
+	clock.RunFor(simclock.Second)
+	got := r.CSV()
+	want := "time_s,early,late\n" +
+		"0.000,1,\n" +
+		"1.000,1,\n" +
+		"2.000,1,9\n"
+	if got != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	clock := simclock.New()
+	r := New(clock, Config{})
+	r.Gauge("ksm.pages-merged", func() float64 { return 42 })
+	r.Start()
+	got := r.PrometheusText()
+	want := "# TYPE tpsim_ksm_pages_merged gauge\ntpsim_ksm_pages_merged 42\n"
+	if got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSamplingIsAllocationBounded(t *testing.T) {
+	clock := simclock.New()
+	r := New(clock, Config{Interval: simclock.Millisecond, Capacity: 8})
+	r.Gauge("g", func() float64 { return 1 })
+	r.Start()
+	clock.RunFor(simclock.Second) // 1000 ticks into a ring of 8
+	s := r.Get("g")
+	if s.Len() != 8 {
+		t.Fatalf("len = %d, want 8", s.Len())
+	}
+	if s.Dropped() != 1000+1-8 {
+		t.Fatalf("dropped = %d, want %d", s.Dropped(), 1000+1-8)
+	}
+	// The retained window is the most recent one.
+	if first := s.At(0).At; first != simclock.Time(993)*simclock.Millisecond {
+		t.Fatalf("oldest retained at %v", first)
+	}
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import "repro/internal/simclock"
+
+// Sample is one (virtual time, value) telemetry point.
+type Sample struct {
+	At simclock.Time
+	V  float64
+}
+
+// Series is a fixed-capacity ring buffer of samples for one metric. The
+// storage is bounded at construction: once full, the oldest sample is
+// overwritten and the dropped count grows, so a long-running experiment can
+// never make the telemetry layer allocate without bound.
+type Series struct {
+	name    string
+	data    []Sample // ring storage; grows up to capacity, then wraps
+	max     int
+	head    int // index of the oldest sample once the ring is full
+	dropped int
+}
+
+func newSeries(name string, capacity int) *Series {
+	return &Series{name: name, max: capacity}
+}
+
+// Name reports the metric name the series was registered under.
+func (s *Series) Name() string { return s.name }
+
+// Len reports how many samples are currently retained.
+func (s *Series) Len() int { return len(s.data) }
+
+// Dropped reports how many old samples were evicted by the ring.
+func (s *Series) Dropped() int { return s.dropped }
+
+// append records a sample, evicting the oldest when the ring is full.
+func (s *Series) append(at simclock.Time, v float64) {
+	if len(s.data) < s.max {
+		s.data = append(s.data, Sample{At: at, V: v})
+		return
+	}
+	s.data[s.head] = Sample{At: at, V: v}
+	s.head = (s.head + 1) % len(s.data)
+	s.dropped++
+}
+
+// At returns the i-th retained sample in chronological order (0 = oldest).
+func (s *Series) At(i int) Sample {
+	if i < 0 || i >= len(s.data) {
+		panic("metrics: series index out of range")
+	}
+	return s.data[(s.head+i)%len(s.data)]
+}
+
+// Last returns the most recent sample; ok is false for an empty series.
+func (s *Series) Last() (Sample, bool) {
+	if len(s.data) == 0 {
+		return Sample{}, false
+	}
+	return s.At(len(s.data) - 1), true
+}
+
+// Samples returns a chronological copy of the retained samples.
+func (s *Series) Samples() []Sample {
+	out := make([]Sample, len(s.data))
+	for i := range out {
+		out[i] = s.At(i)
+	}
+	return out
+}
+
+// Values returns just the sample values, chronologically.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.data))
+	for i := range out {
+		out[i] = s.At(i).V
+	}
+	return out
+}
+
+// Min and Max report the retained value range (0 for an empty series).
+func (s *Series) Min() float64 {
+	var m float64
+	for i := 0; i < len(s.data); i++ {
+		if v := s.At(i).V; i == 0 || v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max reports the largest retained value (0 for an empty series).
+func (s *Series) Max() float64 {
+	var m float64
+	for i := 0; i < len(s.data); i++ {
+		if v := s.At(i).V; i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}

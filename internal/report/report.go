@@ -161,6 +161,53 @@ func StackedBar(name string, segments []Segment, max float64, width int) string 
 	return fmt.Sprintf("%-10s |%s| total=%.1f  (%s)", name, bar.String(), total, strings.Join(parts, ", "))
 }
 
+// sparkGlyphs is the intensity ramp of Spark, lowest to highest. Plain
+// ASCII so the timelines survive any terminal or log pipeline.
+const sparkGlyphs = "_.:-=+*#@"
+
+// Spark renders the values as a fixed-width ASCII sparkline: the range
+// [min, max] maps onto the glyph ramp, and when there are more values than
+// columns each column shows the maximum of its bucket (peaks matter more
+// than troughs in a telemetry timeline). A flat series renders as the
+// lowest glyph.
+func Spark(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(values) {
+		width = len(values)
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for col := 0; col < width; col++ {
+		start := col * len(values) / width
+		end := (col + 1) * len(values) / width
+		if end <= start {
+			end = start + 1
+		}
+		bucket := values[start]
+		for _, v := range values[start+1 : end] {
+			if v > bucket {
+				bucket = v
+			}
+		}
+		g := 0
+		if hi > lo {
+			g = int((bucket - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteByte(sparkGlyphs[g])
+	}
+	return b.String()
+}
+
 // Series is one line of an X/Y chart (Fig. 7 / Fig. 8).
 type Series struct {
 	Name   string

@@ -96,3 +96,44 @@ func TestSeriesTable(t *testing.T) {
 		t.Fatalf("missing value:\n%s", out)
 	}
 }
+
+func TestSpark(t *testing.T) {
+	if got := Spark(nil, 10); got != "" {
+		t.Fatalf("empty input: %q", got)
+	}
+	if got := Spark([]float64{1, 2, 3}, 0); got != "" {
+		t.Fatalf("zero width: %q", got)
+	}
+	// Flat series renders as the lowest glyph.
+	if got := Spark([]float64{5, 5, 5, 5}, 4); got != "____" {
+		t.Fatalf("flat: %q", got)
+	}
+	// A ramp must be monotonically non-decreasing in glyph intensity and
+	// span the full ramp.
+	ramp := make([]float64, 48)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	got := Spark(ramp, 12)
+	if len(got) != 12 || got[0] != '_' || got[len(got)-1] != '@' {
+		t.Fatalf("ramp: %q", got)
+	}
+	prev := -1
+	for _, ch := range []byte(got) {
+		lvl := strings.IndexByte(sparkGlyphs, ch)
+		if lvl < 0 || lvl < prev {
+			t.Fatalf("ramp not monotone: %q", got)
+		}
+		prev = lvl
+	}
+	// Fewer values than columns: width clamps to the value count.
+	if got := Spark([]float64{0, 1}, 10); got != "_@" {
+		t.Fatalf("clamp: %q", got)
+	}
+	// Buckets keep peaks: a single spike must survive downsampling.
+	spike := make([]float64, 40)
+	spike[17] = 9
+	if !strings.Contains(Spark(spike, 8), "@") {
+		t.Fatalf("spike lost: %q", Spark(spike, 8))
+	}
+}

@@ -34,11 +34,14 @@ type Event struct {
 }
 
 // Log is a bounded event recorder. When the capacity is exceeded the oldest
-// events are dropped (the count of drops is retained).
+// events are dropped (the count of drops is retained). Storage is a ring:
+// once full, head marks the oldest slot and Emit overwrites it, so eviction
+// is O(1) instead of shifting the whole buffer per event.
 type Log struct {
 	clock   *simclock.Clock
 	max     int
 	events  []Event
+	head    int
 	dropped int
 }
 
@@ -56,25 +59,32 @@ func (l *Log) Emit(kind Kind, subject, format string, args ...interface{}) {
 	if l == nil {
 		return
 	}
-	if len(l.events) >= l.max {
-		copy(l.events, l.events[1:])
-		l.events = l.events[:len(l.events)-1]
-		l.dropped++
-	}
-	l.events = append(l.events, Event{
+	e := Event{
 		At:      l.clock.Now(),
 		Kind:    kind,
 		Subject: subject,
 		Message: fmt.Sprintf(format, args...),
-	})
+	}
+	if len(l.events) < l.max {
+		l.events = append(l.events, e)
+		return
+	}
+	l.events[l.head] = e
+	l.head = (l.head + 1) % len(l.events)
+	l.dropped++
 }
 
-// Events returns the recorded timeline in order.
+// Events returns the recorded timeline in order (oldest first).
 func (l *Log) Events() []Event {
-	if l == nil {
+	if l == nil || len(l.events) == 0 {
 		return nil
 	}
-	return l.events
+	if l.head == 0 {
+		return l.events
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.head:]...)
+	return append(out, l.events[:l.head]...)
 }
 
 // Dropped reports how many events were evicted.
@@ -94,7 +104,7 @@ func (l *Log) String() string {
 	if l.dropped > 0 {
 		fmt.Fprintf(&b, "(%d earlier events dropped)\n", l.dropped)
 	}
-	for _, e := range l.events {
+	for _, e := range l.Events() {
 		fmt.Fprintf(&b, "%12s  %-8s %-10s %s\n", e.At, e.Kind, e.Subject, e.Message)
 	}
 	return b.String()

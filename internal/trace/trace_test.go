@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -42,6 +43,30 @@ func TestBoundedWithDrops(t *testing.T) {
 	}
 	if !strings.Contains(l.String(), "6 earlier events dropped") {
 		t.Fatal("drop notice missing")
+	}
+}
+
+func TestRingOrderAcrossWraps(t *testing.T) {
+	// The ring wraps several times over; Events must stay chronological with
+	// the oldest retained event first, at every fill level.
+	for n := 1; n <= 13; n++ {
+		l := New(simclock.New(), 5)
+		for i := 0; i < n; i++ {
+			l.Emit(KindPhase, "x", "event %d", i)
+		}
+		ev := l.Events()
+		want := n
+		if want > 5 {
+			want = 5
+		}
+		if len(ev) != want {
+			t.Fatalf("n=%d: kept %d, want %d", n, len(ev), want)
+		}
+		for j, e := range ev {
+			if wantMsg := fmt.Sprintf("event %d", n-want+j); e.Message != wantMsg {
+				t.Fatalf("n=%d: ev[%d] = %q, want %q", n, j, e.Message, wantMsg)
+			}
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ package tpsim
 import (
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -124,6 +125,38 @@ var (
 	RenderJavaFigure  = core.RenderJavaFigure
 	RenderSweepFigure = core.RenderSweepFigure
 	RenderPowerFigure = core.RenderPowerFigure
+)
+
+// Telemetry: time-series sampling of a running cluster. Enable with
+// ClusterConfig.EnableMetrics (or Options.Telemetry for the paper
+// experiments); the registry on Cluster.Metrics holds one ring-buffer
+// series per gauge. Sampling is read-only and clock-driven, so results are
+// bit-identical with it on or off.
+type (
+	// Metrics is a cluster's telemetry registry (Cluster.Metrics).
+	Metrics = metrics.Registry
+	// MetricsConfig tunes sampling cadence and series capacity.
+	MetricsConfig = metrics.Config
+	// Series is one bounded time series of samples.
+	Series = metrics.Series
+	// Sample is one (virtual time, value) observation.
+	Sample = metrics.Sample
+	// ConvergenceConfig tunes the flat-window convergence detector used by
+	// Cluster.WaitConverged and ClusterConfig.AdaptiveWarmup.
+	ConvergenceConfig = metrics.ConvergenceConfig
+	// Telemetry collects the registries of fanned-out experiment runs in
+	// submission order for post-run rendering.
+	Telemetry = core.Telemetry
+	// TelemetryEntry is one collected run inside a Telemetry.
+	TelemetryEntry = core.TelemetryEntry
+)
+
+// Telemetry helpers.
+var (
+	// NewTelemetry creates an empty cross-run collector (Options.Telemetry).
+	NewTelemetry = core.NewTelemetry
+	// RenderTimeline renders one registry as an ASCII sparkline timeline.
+	RenderTimeline = core.RenderTimeline
 )
 
 // DefaultScale is the default memory scale (all results are scaled back to
