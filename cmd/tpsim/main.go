@@ -7,8 +7,8 @@
 //	tpsim [-scale N] [-seed S] [-quick] [-jobs N] <experiment> [...]
 //
 // Experiments: table1 table2 table3 table4 fig2 fig3a fig3b fig3c fig4
-// fig5a fig5b fig5c fig6 fig7 fig8, or "all". fig2/fig3a share one run, as
-// do fig4/fig5a; requesting either id prints that part.
+// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff, or "all". fig2/fig3a share
+// one run, as do fig4/fig5a; requesting either id prints that part.
 //
 // Independent cluster runs (sweep points, error-bar repetitions, the
 // experiments of "all") fan out across -jobs workers. Results are collected
@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/thp"
 )
 
 func main() {
@@ -33,18 +34,27 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel cluster runs (0 = GOMAXPROCS, 1 = fully sequential)")
 	timeline := flag.Bool("timeline", false, "append an ASCII timeline of sampled metrics after each experiment")
 	metricsCSV := flag.Bool("metrics-csv", false, "append the sampled metrics series as CSV after each experiment")
+	thpFlag := flag.String("thp", "never", "transparent huge page policy: never|madvise|always")
+	thpKSMSplit := flag.Bool("thp-ksm-split", false, "let KSM split huge pages over verified duplicate content")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
 	}
+	thpPolicy, err := thp.ParsePolicy(*thpFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpsim: %v\n", err)
+		os.Exit(2)
+	}
 	opts := core.Options{
-		Scale:    *scale,
-		Seed:     core.SeedFromUint64(*seed),
-		Quick:    *quick,
-		Jobs:     *jobs,
-		Progress: printProgress,
+		Scale:       *scale,
+		Seed:        core.SeedFromUint64(*seed),
+		Quick:       *quick,
+		Jobs:        *jobs,
+		Progress:    printProgress,
+		THPPolicy:   thpPolicy,
+		THPKSMSplit: *thpKSMSplit,
 	}
 	asCSV = *csv
 	showTimeline = *timeline
@@ -60,7 +70,8 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `tpsim — rerun the ISPASS 2013 TPS-in-Java experiments
 
-usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] [-timeline] [-metrics-csv] <experiment>...
+usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] [-timeline] [-metrics-csv]
+             [-thp never|madvise|always] [-thp-ksm-split] <experiment>...
 
 experiments:
   table1..table4   the paper's configuration tables
@@ -72,8 +83,12 @@ experiments:
   fig6             PowerVM: totals before/after sharing, +/- preloading
   fig7             DayTrader throughput vs 1..9 guest VMs
   fig8             SPECjEnterprise score vs 5..8 guest VMs
+  thp-tradeoff     THP policy sweep: huge-page coverage vs KSM sharing
   check            evaluate every paper claim on quick runs (self-test)
   all              everything above
+
+-thp applies a huge-page policy to the paper experiments themselves
+(thp-tradeoff sweeps its own policies and ignores the flag).
 `)
 }
 
@@ -116,6 +131,13 @@ func sweepText(f core.SweepFigure) string {
 	return core.RenderSweepFigure(f) + "\n"
 }
 
+func thpText(f core.THPFigure) string {
+	if asCSV {
+		return core.THPFigureTable(f).CSV()
+	}
+	return core.RenderTHPFigure(f) + "\n"
+}
+
 func powerText(f core.PowerFigure) string {
 	if asCSV {
 		return core.PowerFigureTable(f).CSV()
@@ -136,7 +158,7 @@ func tableText(t interface {
 // allIDs lists every experiment "all" runs, in print order.
 var allIDs = []string{"table1", "table2", "table3", "table4",
 	"fig2", "fig3a", "fig3b", "fig3c", "fig4", "fig5a", "fig5b", "fig5c",
-	"fig6", "fig7", "fig8"}
+	"fig6", "fig7", "fig8", "thp-tradeoff"}
 
 // render produces the stdout text for one experiment id: the figure itself
 // plus, when -timeline or -metrics-csv is set, the telemetry of every
@@ -200,6 +222,8 @@ func renderFigure(id string, opts core.Options) (string, error) {
 		return sweepText(core.Fig7(opts)), nil
 	case "fig8":
 		return sweepText(core.Fig8(opts)), nil
+	case "thp-tradeoff":
+		return thpText(core.THPTradeoff(opts)), nil
 	case "check":
 		out, ok := core.RunClaims(opts)
 		if !ok {

@@ -31,13 +31,20 @@ type Manager struct {
 	cfg     Config
 	kernels []*guestos.Kernel
 
+	// ballooned is how many pages each guest's balloon currently holds
+	// (index-parallel to kernels); the sum is the manager's ledger of memory
+	// taken from guests and not yet given back.
+	ballooned []int
+
 	stats Stats
 }
 
 // Stats counts balloon activity.
 type Stats struct {
 	Inflations     uint64
+	Deflations     uint64
 	PagesReclaimed int
+	PagesRestored  int
 }
 
 // NewManager creates a manager over the given guests.
@@ -48,11 +55,21 @@ func NewManager(host *hypervisor.Host, kernels []*guestos.Kernel, cfg Config) *M
 	if cfg.TargetFreeBytes < cfg.LowWatermarkBytes {
 		cfg.TargetFreeBytes = cfg.LowWatermarkBytes * 2
 	}
-	return &Manager{host: host, cfg: cfg, kernels: kernels}
+	return &Manager{host: host, cfg: cfg, kernels: kernels, ballooned: make([]int, len(kernels))}
 }
 
 // Stats returns manager counters.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// BalloonedPages reports how many pages the balloons currently hold across
+// all guests (inflations minus deflations).
+func (m *Manager) BalloonedPages() int {
+	total := 0
+	for _, n := range m.ballooned {
+		total += n
+	}
+	return total
+}
 
 // Balance checks host pressure and, if free memory is below the low
 // watermark, inflates every guest's balloon proportionally until the target
@@ -67,9 +84,35 @@ func (m *Manager) Balance() int {
 	needPages := int((m.cfg.TargetFreeBytes - free) / int64(m.host.PageSize()))
 	perGuest := needPages/len(m.kernels) + 1
 	total := 0
-	for _, k := range m.kernels {
-		total += k.ReclaimPages(perGuest)
+	for i, k := range m.kernels {
+		got := k.ReclaimPages(perGuest)
+		m.ballooned[i] += got
+		total += got
 	}
 	m.stats.PagesReclaimed += total
+	return total
+}
+
+// Deflate releases the balloons once host pressure has eased (free memory at
+// or above the inflation target): the ledger returns to the guests, which
+// regrow their page cache on demand — dropped cache contents re-fault from
+// backing files, so only the accounting needs restoring. It returns the
+// number of pages given back; zero while the host is still under pressure.
+func (m *Manager) Deflate() int {
+	if m.host.FreeBytes() < m.cfg.TargetFreeBytes {
+		return 0
+	}
+	total := 0
+	for i, n := range m.ballooned {
+		if n > 0 {
+			total += n
+			m.ballooned[i] = 0
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	m.stats.Deflations++
+	m.stats.PagesRestored += total
 	return total
 }

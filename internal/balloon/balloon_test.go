@@ -75,3 +75,76 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatalf("defaults not applied: %+v", m.cfg)
 	}
 }
+
+// The paper's point about ballooning: under pressure the guest gives up
+// page cache (cheap, refetchable) so the hypervisor never has to swap
+// (expensive, opaque). Same demand, with and without a balloon manager.
+func TestInflationAvoidsHypervisorSwap(t *testing.T) {
+	demand := func(t *testing.T, withBalloon bool) uint64 {
+		t.Helper()
+		h, ks := build(t, 160, 64, 48)
+		free := h.FreeBytes()
+		if withBalloon {
+			m := NewManager(h, ks, Config{LowWatermarkBytes: free + pg, TargetFreeBytes: free + 48*pg})
+			if m.Balance() == 0 {
+				t.Fatal("balloon reclaimed nothing")
+			}
+		}
+		// A third tenant arrives needing more than the host has free; without
+		// the balloon the hypervisor must swap someone out to fit it.
+		vm := h.NewVM(hypervisor.VMConfig{Name: "late", GuestMemBytes: 128 * pg, Seed: 99})
+		need := uint64(free/pg) + 16
+		for i := uint64(0); i < need; i++ {
+			vm.FillGuestPage(i, mem.Seed(1000+i))
+		}
+		return h.Stats().SwapOuts
+	}
+	if got := demand(t, false); got == 0 {
+		t.Fatal("control run never swapped; demand too small to test the interaction")
+	}
+	if got := demand(t, true); got != 0 {
+		t.Fatalf("hypervisor swapped %d pages despite balloon inflation", got)
+	}
+}
+
+func TestDeflateRestoresAccounting(t *testing.T) {
+	h, ks := build(t, 100, 64, 32)
+	free := h.FreeBytes()
+	m := NewManager(h, ks, Config{LowWatermarkBytes: free + 8*pg, TargetFreeBytes: free + 24*pg})
+	got := m.Balance()
+	if got == 0 || m.BalloonedPages() != got {
+		t.Fatalf("ledger %d after reclaiming %d", m.BalloonedPages(), got)
+	}
+	back := m.Deflate()
+	if back != got {
+		t.Fatalf("deflate returned %d of %d ballooned pages", back, got)
+	}
+	if m.BalloonedPages() != 0 {
+		t.Fatalf("ledger %d after deflate", m.BalloonedPages())
+	}
+	s := m.Stats()
+	if s.Deflations != 1 || s.PagesRestored != got || s.PagesReclaimed != got {
+		t.Fatalf("stats inconsistent after deflate: %+v", s)
+	}
+	if m.Deflate() != 0 {
+		t.Fatal("second deflate returned pages from an empty balloon")
+	}
+}
+
+func TestDeflateRefusedUnderPressure(t *testing.T) {
+	h, ks := build(t, 100, 64, 32)
+	free := h.FreeBytes()
+	// Target far beyond what the caches can yield: inflation runs dry with
+	// the host still below target, so the balloon must stay inflated.
+	m := NewManager(h, ks, Config{LowWatermarkBytes: free + 8*pg, TargetFreeBytes: free + 1024*pg})
+	got := m.Balance()
+	if got == 0 {
+		t.Fatal("no reclamation under pressure")
+	}
+	if m.Deflate() != 0 {
+		t.Fatal("deflated while host free memory is still below target")
+	}
+	if m.BalloonedPages() != got {
+		t.Fatal("ledger changed by refused deflate")
+	}
+}

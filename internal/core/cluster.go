@@ -18,6 +18,7 @@ import (
 	"repro/internal/memanalysis"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/thp"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -82,6 +83,15 @@ type ClusterConfig struct {
 	// DisableKSM leaves the scanner off: the memory state stays unmerged
 	// (used by the related-work baselines to analyze the raw state).
 	DisableKSM bool
+	// THPPolicy enables the transparent-huge-page collapse daemon
+	// (thp.PolicyNever, the zero value, keeps it off and all existing
+	// figures byte-identical). Under madvise or always, khugepaged-style
+	// collapse competes with KSM for dense guest-RAM runs.
+	THPPolicy thp.Policy
+	// THPKSMSplit lets KSM split huge mappings back to base pages when it
+	// verifies duplicate content — the sharing-recovery side of the
+	// THP-vs-KSM tradeoff.
+	THPKSMSplit bool
 	// SharedAOT additionally populates and uses the cache's AOT section
 	// (extension; implies SharedClasses behaviour for code).
 	SharedAOT bool
@@ -173,6 +183,9 @@ type Cluster struct {
 	Kernels []*guestos.Kernel
 	Workers []*workload.Instance
 	Scanner *ksm.KSM
+	// THP is the huge-page collapse daemon (nil unless THPPolicy is madvise
+	// or always; the thp API is nil-safe).
+	THP *thp.Daemon
 	// Trace is the experiment timeline (nil unless EnableTrace).
 	Trace *trace.Log
 	// Metrics is the telemetry registry (nil unless EnableMetrics). All the
@@ -211,9 +224,16 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 	// in §2.C where KSM is enabled during WAS startup.
 	kcfg := ksm.DefaultConfig()
 	kcfg.PagesToScan = 10000
+	kcfg.SplitHugePages = cfg.THPKSMSplit
 	c.Scanner = ksm.New(host, kcfg)
 	if !cfg.DisableKSM {
 		c.Scanner.Start()
+	}
+	if cfg.THPPolicy != thp.PolicyNever {
+		tcfg := thp.DefaultConfig()
+		tcfg.Policy = cfg.THPPolicy
+		c.THP = thp.New(host, tcfg)
+		c.THP.Start()
 	}
 	if cfg.EnableMetrics {
 		c.Metrics = metrics.New(clock, metrics.Config{
@@ -229,6 +249,9 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 		spec := cfg.Specs[i%len(cfg.Specs)]
 		c.addGuest(i, spec)
 		c.Scanner.Register(c.Host.VMs()[i])
+		// QEMU madvises all guest RAM as MADV_HUGEPAGE, so under the madvise
+		// policy guest memory is still an explicit collapse candidate.
+		c.THP.Register(c.Host.VMs()[i], true)
 		c.Trace.Emit(trace.KindDeploy, fmt.Sprintf("VM %d", i+1),
 			"deployed %s (shared classes: %v); host free %d MB",
 			spec.Name, cfg.SharedClasses, host.FreeBytes()>>20)
@@ -351,7 +374,9 @@ func (c *Cluster) instrument() {
 	r.Gauge("host.major_faults", func() float64 { return float64(c.Host.Stats().MajorFaults) })
 	r.Gauge("host.swap_outs", func() float64 { return float64(c.Host.Stats().SwapOuts) })
 	r.Gauge("host.cow_breaks", func() float64 { return float64(c.Host.Stats().COWBreaks) })
+	r.Gauge("mem.frames_huge", func() float64 { return float64(pm.HugeFrames()) })
 	c.Scanner.Instrument(r)
+	c.THP.Instrument(r)
 	// JVM gauges aggregate over c.Workers through the closure, so instances
 	// deployed after Start are picked up by the next sample automatically.
 	r.Gauge("jvm.heap_used_bytes", func() float64 {

@@ -52,6 +52,20 @@ func SweepFigureTable(f SweepFigure) *report.Table {
 	return t
 }
 
+// THPFigureTable flattens the thp-tradeoff result.
+func THPFigureTable(f THPFigure) *report.Table {
+	t := &report.Table{
+		Title: f.ID,
+		Headers: []string{"guests", "policy", "huge_mb", "huge_coverage_pct", "tlb_reach_mb",
+			"ksm_saving_mb", "sharing_pages", "collapses", "splits", "ksm_skips"},
+	}
+	for _, r := range f.Rows {
+		t.AddRow(r.Guests, r.Policy, r.HugeMB, r.HugeCoveragePct, r.TLBReachMB,
+			r.SharingMB, r.SharingPages, fmt.Sprint(r.Collapses), fmt.Sprint(r.Splits), fmt.Sprint(r.KSMSkips))
+	}
+	return t
+}
+
 // PowerFigureTable flattens the Fig. 6 result.
 func PowerFigureTable(f PowerFigure) *report.Table {
 	t := &report.Table{

@@ -6,6 +6,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/mem"
 	"repro/internal/memanalysis"
+	"repro/internal/thp"
 	"repro/internal/workload"
 )
 
@@ -34,6 +35,13 @@ type Options struct {
 	// the fan-out completes (tpsim -timeline / -metrics-csv). Sampling is
 	// read-only, so figures are unchanged by it.
 	Telemetry *Telemetry
+	// THPPolicy enables the transparent-huge-page collapse daemon on every
+	// cluster the experiment builds (tpsim -thp). The zero value keeps THP
+	// off and all figures byte-identical to earlier releases.
+	THPPolicy thp.Policy
+	// THPKSMSplit lets KSM split huge mappings over verified duplicate
+	// content (tpsim -thp-ksm-split).
+	THPKSMSplit bool
 }
 
 func (o Options) scale() int {
@@ -188,6 +196,8 @@ func dayTraderCluster(o Options, shared bool) *Cluster {
 		cfg.SteadyRounds = 15
 	}
 	cfg.EnableMetrics = o.Telemetry != nil
+	cfg.THPPolicy = o.THPPolicy
+	cfg.THPKSMSplit = o.THPKSMSplit
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("daytrader x4 shared=%v", shared), c.Metrics)
 	return c
@@ -230,6 +240,8 @@ func mixedCluster(o Options, shared bool) *Cluster {
 		cfg.SteadyRounds = 15
 	}
 	cfg.EnableMetrics = o.Telemetry != nil
+	cfg.THPPolicy = o.THPPolicy
+	cfg.THPKSMSplit = o.THPKSMSplit
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("mixed x3 shared=%v", shared), c.Metrics)
 	return c
@@ -268,6 +280,8 @@ func tuscanyCluster(o Options, shared bool) *Cluster {
 		cfg.SteadyRounds = 15
 	}
 	cfg.EnableMetrics = o.Telemetry != nil
+	cfg.THPPolicy = o.THPPolicy
+	cfg.THPKSMSplit = o.THPKSMSplit
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("tuscany x3 shared=%v", shared), c.Metrics)
 	return c

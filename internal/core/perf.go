@@ -240,6 +240,8 @@ func sweep(o Options, id, title, unit string, spec workload.Spec, counts []int, 
 							SteadyRounds:       8,
 							IterationsPerRound: 25,
 							EnableMetrics:      o.Telemetry != nil,
+							THPPolicy:          o.THPPolicy,
+							THPKSMSplit:        o.THPKSMSplit,
 						}
 						c := BuildCluster(cfg)
 						o.Telemetry.CollectAt(seq, label, c.Metrics)

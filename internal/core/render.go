@@ -99,6 +99,34 @@ func RenderSweepFigure(f SweepFigure) string {
 	return b.String()
 }
 
+// RenderTHPFigure prints the thp-tradeoff result: one row per policy ×
+// guest-count cell with both axes of the THP-vs-KSM tension.
+func RenderTHPFigure(f THPFigure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", strings.ToUpper(f.ID), f.Title)
+	t := &report.Table{Headers: []string{
+		"Guests", "THP policy", "Huge MB", "Huge %", "Est. TLB reach MB",
+		"KSM saving MB", "Sharing pages", "Collapses", "Splits", "KSM skips",
+	}}
+	for _, r := range f.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Guests),
+			r.Policy,
+			fmt.Sprintf("%.1f", r.HugeMB),
+			fmt.Sprintf("%.1f", r.HugeCoveragePct),
+			fmt.Sprintf("%.1f", r.TLBReachMB),
+			fmt.Sprintf("%.1f", r.SharingMB),
+			fmt.Sprintf("%d", r.SharingPages),
+			fmt.Sprintf("%d", r.Collapses),
+			fmt.Sprintf("%d", r.Splits),
+			fmt.Sprintf("%d", r.KSMSkips),
+		)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nTHP raises TLB reach by hiding 4 KB duplicates from KSM; ksm-split buys the sharing back.\n")
+	return b.String()
+}
+
 // RenderPowerFigure prints the Fig. 6 result.
 func RenderPowerFigure(f PowerFigure) string {
 	var b strings.Builder

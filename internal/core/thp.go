@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/thp"
+	"repro/internal/workload"
+)
+
+// THPRow is one cell of the THP-vs-KSM tradeoff sweep: one policy at one
+// guest count, with both axes of the tradeoff in paper-scale units.
+type THPRow struct {
+	// Policy labels the row: "never", "madvise", "always", or "ksm-split"
+	// (always + KSM splitting huge pages over duplicates).
+	Policy string
+	Guests int
+	// HugeMB is guest memory backed by huge mappings; HugeCoveragePct is its
+	// share of all attributed guest memory.
+	HugeMB          float64
+	HugeCoveragePct float64
+	// TLBReachMB estimates how much memory a fixed-size TLB covers under the
+	// resulting page-size mix (memanalysis.EstimatedTLBReachBytes).
+	TLBReachMB float64
+	// SharingMB is KSM saved memory (the paper's TPS savings axis);
+	// SharingPages is the raw pages_sharing count behind it.
+	SharingMB    float64
+	SharingPages int
+	// Collapses and Splits count huge-page lifecycle events; KSMSkips counts
+	// scan candidates KSM had to pass over because a huge mapping hid them —
+	// the "sharing lost" side of the ledger.
+	Collapses uint64
+	Splits    uint64
+	KSMSkips  uint64
+}
+
+// THPFigure is the thp-tradeoff experiment result.
+type THPFigure struct {
+	ID    string
+	Title string
+	Rows  []THPRow
+}
+
+// thpPolicies enumerates the sweep's policy axis. "madvise" equals "always"
+// for guest RAM (QEMU madvises it MADV_HUGEPAGE) and serves as that very
+// sanity check.
+var thpPolicies = []struct {
+	label  string
+	policy thp.Policy
+	split  bool
+}{
+	{"never", thp.PolicyNever, false},
+	{"madvise", thp.PolicyMadvise, false},
+	{"always", thp.PolicyAlways, false},
+	{"ksm-split", thp.PolicyAlways, true},
+}
+
+// THPTradeoff sweeps THP policy × guest count on the DayTrader scenario and
+// reports both axes of the huge-page/page-sharing tension: under "always"
+// khugepaged claims dense runs before KSM's two-sighting gate can merge out
+// of them, trading TPS savings for TLB reach; "ksm-split" buys most of the
+// sharing back by dissolving huge pages over verified duplicates. The
+// Options.THPPolicy flag is ignored here — the sweep supplies its own.
+func THPTradeoff(o Options) THPFigure {
+	fig := THPFigure{
+		ID:    "thp-tradeoff",
+		Title: "THP huge-page coverage vs KSM sharing (DayTrader guests)",
+	}
+	counts := []int{2, 4}
+	var jobs []Job[THPRow]
+	for _, n := range counts {
+		for _, pol := range thpPolicies {
+			n, pol := n, pol
+			seq := len(jobs)
+			label := fmt.Sprintf("thp-tradeoff n=%d policy=%s", n, pol.label)
+			jobs = append(jobs, Job[THPRow]{
+				Label: label,
+				Run: func() THPRow {
+					cfg := ClusterConfig{
+						Scale:         o.scale(),
+						Specs:         []workload.Spec{workload.DayTrader()},
+						NumVMs:        n,
+						SharedClasses: true,
+						BaseSeed:      o.Seed,
+						THPPolicy:     pol.policy,
+						THPKSMSplit:   pol.split,
+						EnableMetrics: o.Telemetry != nil,
+					}
+					if o.Quick {
+						cfg.SteadyRounds = 15
+					}
+					c := BuildCluster(cfg)
+					o.Telemetry.CollectAt(seq, label, c.Metrics)
+					c.Run()
+					a := c.Analyze()
+					huge, base := a.FrameSizeCounts()
+					kst := c.Scanner.Stats()
+					tst := c.THP.Stats()
+					scale := c.Cfg.Scale
+					ps := int64(c.Host.PageSize())
+					row := THPRow{
+						Policy:       pol.label,
+						Guests:       n,
+						HugeMB:       mb(int64(huge)*ps, scale),
+						TLBReachMB:   mb(a.EstimatedTLBReachBytes(), scale),
+						SharingMB:    mb(kst.SavedBytes, scale),
+						SharingPages: kst.PagesSharing,
+						Collapses:    tst.Collapses,
+						Splits:       tst.Splits,
+						KSMSkips:     kst.HugeSkips,
+					}
+					if huge+base > 0 {
+						row.HugeCoveragePct = 100 * float64(huge) / float64(huge+base)
+					}
+					return row
+				},
+			})
+		}
+	}
+	fig.Rows = RunAll(o.runner(), jobs)
+	return fig
+}

@@ -58,6 +58,11 @@ type Host struct {
 	// statistics exact.
 	OnCOWBreak func(vm *VMProcess, vpn mem.VPN, oldFrame mem.FrameID)
 
+	// OnHugeSplit, if set, is invoked after a huge mapping has been split
+	// back into base pages (by the evictor, KSM, or a guest release). The
+	// THP daemon registers itself here to count splits it didn't initiate.
+	OnHugeSplit func(vm *VMProcess, head mem.VPN)
+
 	stats HostStats
 }
 
@@ -67,6 +72,8 @@ type HostStats struct {
 	SwapOuts    uint64
 	COWBreaks   uint64
 	MinorFaults uint64 // first-touch demand mappings
+	Collapses   uint64 // huge-page collapses (khugepaged successes)
+	HugeSplits  uint64 // huge mappings split back to base pages
 }
 
 // mapping identifies one PTE in one VM process, for the eviction queue.
@@ -164,6 +171,25 @@ func (h *Host) evictOne() bool {
 		pte, ok := m.vm.hpt.Lookup(m.vpn)
 		if !ok || pte.Swapped || pte.Frame == mem.NilFrame {
 			continue // stale entry
+		}
+		if pte.Huge {
+			// Huge mappings get the same second chance, tracked on the head
+			// entry; a cold huge page is split so its base pages can be
+			// evicted individually on later spins (Linux splits huge pages
+			// on reclaim the same way).
+			head := mem.HugeAlign(m.vpn)
+			he, _ := m.vm.hpt.Lookup(head)
+			if he.Accessed {
+				he.Accessed = false
+				m.vm.hpt.Set(head, he)
+				h.evictQueue = append(h.evictQueue, m)
+				continue
+			}
+			m.vm.SplitHuge(head)
+			// SplitHuge re-queued the run's base pages; reset the budget to
+			// cover the grown queue.
+			spins = 2*len(h.evictQueue) + 1
+			continue
 		}
 		if h.phys.IsKSM(pte.Frame) || h.phys.RefCount(pte.Frame) > 1 {
 			continue // shared: unevictable; re-queued on COW break

@@ -1,0 +1,126 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// CollapseOutcome classifies one collapse attempt on an aligned run, echoing
+// khugepaged's scan result codes.
+type CollapseOutcome int
+
+const (
+	// CollapseOK: the run was collapsed into one huge mapping.
+	CollapseOK CollapseOutcome = iota
+	// CollapseAlreadyHuge: the run is already a huge mapping.
+	CollapseAlreadyHuge
+	// CollapseNotDense: too many absent pages (above the max_ptes_none
+	// budget).
+	CollapseNotDense
+	// CollapseShared: a page in the run is COW-shared or a KSM stable page;
+	// collapsing would have to break sharing, which khugepaged refuses.
+	CollapseShared
+	// CollapseSwapped: a page in the run lives in swap; collapsing under
+	// memory pressure would fight the evictor.
+	CollapseSwapped
+	// CollapseNoMemory: no aligned fully-free frame block was available.
+	CollapseNoMemory
+)
+
+// String names the outcome for stats tables.
+func (o CollapseOutcome) String() string {
+	switch o {
+	case CollapseOK:
+		return "ok"
+	case CollapseAlreadyHuge:
+		return "already-huge"
+	case CollapseNotDense:
+		return "not-dense"
+	case CollapseShared:
+		return "shared"
+	case CollapseSwapped:
+		return "swapped"
+	case CollapseNoMemory:
+		return "no-memory"
+	}
+	return fmt.Sprintf("CollapseOutcome(%d)", int(o))
+}
+
+// CollapseHuge attempts to collapse the HugePages-aligned run headed at head
+// into one huge mapping, the way khugepaged does: the run must be dense
+// (at most maxPtesNone absent pages), fully resident, and privately mapped
+// (no COW, no KSM stable pages). On success the run's contents move into a
+// freshly allocated contiguous frame block, absent pages materialize as zero
+// subpages (THP's memory-bloat cost), and the old frames are released.
+func (vm *VMProcess) CollapseHuge(head mem.VPN, maxPtesNone int) CollapseOutcome {
+	if head%mem.HugePages != 0 {
+		panic(fmt.Sprintf("hypervisor: CollapseHuge at unaligned vpn %d", head))
+	}
+	absent := 0
+	for i := mem.VPN(0); i < mem.HugePages; i++ {
+		pte, ok := vm.hpt.Lookup(head + i)
+		switch {
+		case !ok:
+			absent++
+		case pte.Huge:
+			return CollapseAlreadyHuge
+		case pte.Swapped:
+			return CollapseSwapped
+		case pte.COW || vm.host.phys.IsKSM(pte.Frame) || vm.host.phys.RefCount(pte.Frame) > 1:
+			return CollapseShared
+		}
+	}
+	if absent > maxPtesNone {
+		return CollapseNotDense
+	}
+	base, err := vm.host.phys.AllocHugeBlock()
+	if err != nil {
+		return CollapseNoMemory
+	}
+	// Copy resident contents into the block, then drop the old frames. The
+	// block's untouched subpages stay lazily zero, so an absent page costs
+	// a frame but no bytes until written.
+	for i := mem.VPN(0); i < mem.HugePages; i++ {
+		pte, ok := vm.hpt.Lookup(head + i)
+		if !ok {
+			continue
+		}
+		vm.host.phys.CopyFrame(base+mem.FrameID(i), pte.Frame)
+		vm.host.phys.DecRef(pte.Frame)
+	}
+	vm.hpt.InstallHuge(head, mem.PTE{
+		Frame:    base,
+		Writable: true,
+		LastUse:  vm.host.now(),
+		Accessed: true,
+	})
+	// The formerly-absent pages are resident now — THP's bloat, visible in
+	// the resident gauge exactly as on a real host.
+	vm.stats.ResidentPages += absent
+	vm.host.stats.Collapses++
+	return CollapseOK
+}
+
+// SplitHuge dissolves the huge mapping headed at head back into HugePages
+// base mappings over the same (now independent) frames. Contents are
+// preserved; the pages re-enter the eviction queue individually. KSM's
+// split-to-merge policy and the evictor both use this.
+func (vm *VMProcess) SplitHuge(head mem.VPN) {
+	pte, ok := vm.hpt.Lookup(head)
+	if !ok || !pte.Huge || head%mem.HugePages != 0 {
+		panic(fmt.Sprintf("hypervisor: SplitHuge at vpn %d: no huge mapping", head))
+	}
+	vm.host.phys.SplitHugeBlock(pte.Frame)
+	vm.hpt.SplitHuge(head)
+	for i := mem.VPN(0); i < mem.HugePages; i++ {
+		vm.host.noteMapped(vm, head+i)
+	}
+	vm.host.stats.HugeSplits++
+	if vm.host.OnHugeSplit != nil {
+		vm.host.OnHugeSplit(vm, head)
+	}
+}
+
+// HugeMappings reports how many huge mappings the VM currently holds.
+func (vm *VMProcess) HugeMappings() int { return vm.hpt.HugeMappings() }

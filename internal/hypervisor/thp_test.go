@@ -1,0 +1,193 @@
+package hypervisor
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/simclock"
+)
+
+const hp = mem.HugePages
+
+// thpHost builds a host with ramBlocks aligned huge blocks of RAM and one VM
+// whose guest spans guestPages pages. memslotBase is block-aligned, so guest
+// page 0 heads an aligned run.
+func thpHost(t *testing.T, ramBlocks, guestPages int) (*Host, *VMProcess) {
+	t.Helper()
+	h := NewHost(Config{Name: "t", RAMBytes: int64(ramBlocks) * hp * pg}, simclock.New())
+	vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: int64(guestPages) * pg, Seed: 1})
+	if vm.MemslotBase()%hp != 0 {
+		t.Fatalf("memslot base %d not huge-aligned", vm.MemslotBase())
+	}
+	return h, vm
+}
+
+func fillRun(vm *VMProcess, n int, seed mem.Seed) {
+	for i := 0; i < n; i++ {
+		vm.FillGuestPage(uint64(i), mem.Combine(seed, mem.Seed(i)))
+	}
+}
+
+func TestCollapseHugeDenseRun(t *testing.T) {
+	h, vm := thpHost(t, 4, 2*hp)
+	fillRun(vm, hp, 7)
+	resident := vm.Stats().ResidentPages
+	if got := vm.CollapseHuge(vm.MemslotBase(), 0); got != CollapseOK {
+		t.Fatalf("collapse of dense run: %v", got)
+	}
+	if vm.HugeMappings() != 1 || h.Phys().HugeFrames() != hp {
+		t.Fatalf("huge mappings %d, huge frames %d", vm.HugeMappings(), h.Phys().HugeFrames())
+	}
+	if h.Stats().Collapses != 1 {
+		t.Fatalf("collapse counter %d", h.Stats().Collapses)
+	}
+	if got := vm.Stats().ResidentPages; got != resident {
+		t.Fatalf("dense collapse changed resident: %d -> %d", resident, got)
+	}
+	// Contents must have moved into the block byte-for-byte.
+	for i := 0; i < hp; i++ {
+		want := mem.FillBytes(pg, mem.Combine(7, mem.Seed(i)))
+		if got := vm.ReadGuestPage(uint64(i)); !bytes.Equal(got, want) {
+			t.Fatalf("page %d content lost in collapse", i)
+		}
+	}
+	if got := vm.CollapseHuge(vm.MemslotBase(), 0); got != CollapseAlreadyHuge {
+		t.Fatalf("re-collapse: %v", got)
+	}
+}
+
+func TestCollapseRespectsDensityBudget(t *testing.T) {
+	_, vm := thpHost(t, 4, 2*hp)
+	fillRun(vm, hp-100, 3)
+	if got := vm.CollapseHuge(vm.MemslotBase(), 64); got != CollapseNotDense {
+		t.Fatalf("collapse of sparse run: %v", got)
+	}
+	if got := vm.CollapseHuge(vm.MemslotBase(), 100); got != CollapseOK {
+		t.Fatalf("collapse within budget: %v", got)
+	}
+}
+
+func TestCollapseBloatsAbsentPages(t *testing.T) {
+	_, vm := thpHost(t, 4, 2*hp)
+	fillRun(vm, hp-10, 3)
+	resident := vm.Stats().ResidentPages
+	if got := vm.CollapseHuge(vm.MemslotBase(), 10); got != CollapseOK {
+		t.Fatalf("collapse: %v", got)
+	}
+	// The 10 absent pages materialized as zero subpages — THP's bloat.
+	if got := vm.Stats().ResidentPages; got != resident+10 {
+		t.Fatalf("resident %d, want %d (+bloat)", got, resident+10)
+	}
+	if got := vm.ReadGuestPage(hp - 1); !bytes.Equal(got, make([]byte, pg)) {
+		t.Fatal("absent page not zero after collapse")
+	}
+}
+
+func TestCollapseRefusesSharedPages(t *testing.T) {
+	_, vm := thpHost(t, 4, 2*hp)
+	fillRun(vm, hp, 3)
+	vm.WriteProtect(vm.MemslotBase() + 17)
+	if got := vm.CollapseHuge(vm.MemslotBase(), 0); got != CollapseShared {
+		t.Fatalf("collapse over COW page: %v", got)
+	}
+}
+
+func TestCollapseRefusesSwappedPages(t *testing.T) {
+	// RAM one block + slack; filling a full run plus extra forces eviction,
+	// so part of the run is in swap when the collapse is attempted.
+	h, vm := thpHost(t, 1, 2*hp)
+	fillRun(vm, hp+64, 3)
+	if vm.Stats().SwappedPages == 0 {
+		t.Fatal("setup: nothing swapped")
+	}
+	if got := vm.CollapseHuge(vm.MemslotBase(), 0); got != CollapseSwapped {
+		t.Fatalf("collapse over swapped run: %v", got)
+	}
+	_ = h
+}
+
+func TestCollapseNoFreeBlock(t *testing.T) {
+	// Two blocks of RAM: the dense run fills block 0, and a little extra
+	// demand dirties block 1, so no fully-free aligned block remains.
+	_, vm := thpHost(t, 2, 2*hp)
+	fillRun(vm, hp, 3)
+	for i := hp; i < hp+8; i++ {
+		vm.FillGuestPage(uint64(i), mem.Seed(9000+i))
+	}
+	if got := vm.CollapseHuge(vm.MemslotBase(), 0); got != CollapseNoMemory {
+		t.Fatalf("collapse without a free block: %v", got)
+	}
+}
+
+func TestSplitHugePreservesContent(t *testing.T) {
+	h, vm := thpHost(t, 4, 2*hp)
+	fillRun(vm, hp, 5)
+	if got := vm.CollapseHuge(vm.MemslotBase(), 0); got != CollapseOK {
+		t.Fatalf("collapse: %v", got)
+	}
+	vm.SplitHuge(vm.MemslotBase())
+	if vm.HugeMappings() != 0 || h.Phys().HugeFrames() != 0 {
+		t.Fatal("split left huge state behind")
+	}
+	if h.Stats().HugeSplits != 1 {
+		t.Fatalf("split counter %d", h.Stats().HugeSplits)
+	}
+	for i := 0; i < hp; i++ {
+		want := mem.FillBytes(pg, mem.Combine(5, mem.Seed(i)))
+		if got := vm.ReadGuestPage(uint64(i)); !bytes.Equal(got, want) {
+			t.Fatalf("page %d content lost in split", i)
+		}
+	}
+	// Split pages are individually evictable/releasable again.
+	vm.ReleaseGuestPage(3)
+	if got := vm.Stats().ResidentPages; got != hp-1 {
+		t.Fatalf("resident %d after releasing one split page", got)
+	}
+}
+
+func TestReleaseInsideHugeRunSplitsFirst(t *testing.T) {
+	h, vm := thpHost(t, 4, 2*hp)
+	fillRun(vm, hp, 5)
+	if got := vm.CollapseHuge(vm.MemslotBase(), 0); got != CollapseOK {
+		t.Fatalf("collapse: %v", got)
+	}
+	vm.ReleaseGuestPage(100)
+	if vm.HugeMappings() != 0 {
+		t.Fatal("release inside huge run did not split it")
+	}
+	if h.Stats().HugeSplits != 1 {
+		t.Fatalf("split counter %d", h.Stats().HugeSplits)
+	}
+	if got := vm.Stats().ResidentPages; got != hp-1 {
+		t.Fatalf("resident %d after split+release", got)
+	}
+	if got := vm.ReadGuestPage(99); !bytes.Equal(got, mem.FillBytes(pg, mem.Combine(5, mem.Seed(99)))) {
+		t.Fatal("neighbour page corrupted by split+release")
+	}
+}
+
+func TestEvictionSplitsColdHugeMapping(t *testing.T) {
+	// Two blocks of RAM: the collapse claims one, then a second VM's demand
+	// exceeds what is left free, forcing eviction, which must split the
+	// (cold) huge mapping rather than skip it forever.
+	h, vm := thpHost(t, 2, hp)
+	fillRun(vm, hp-64, 5)
+	if got := vm.CollapseHuge(vm.MemslotBase(), 64); got != CollapseOK {
+		t.Fatalf("collapse: %v", got)
+	}
+	vm2 := h.NewVM(VMConfig{Name: "late", GuestMemBytes: int64(2*hp) * pg, Seed: 2})
+	for i := uint64(0); i < hp+64; i++ {
+		vm2.FillGuestPage(i, mem.Seed(100+i))
+	}
+	if vm.HugeMappings() != 0 {
+		t.Fatal("eviction never split the cold huge mapping")
+	}
+	if h.Stats().HugeSplits == 0 || h.Stats().SwapOuts == 0 {
+		t.Fatalf("stats after pressure: %+v", h.Stats())
+	}
+	// The collapsed content must survive the split + swap round trip.
+	if got := vm.ReadGuestPage(7); !bytes.Equal(got, mem.FillBytes(pg, mem.Combine(5, mem.Seed(7)))) {
+		t.Fatal("content lost across eviction split")
+	}
+}

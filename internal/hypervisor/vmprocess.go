@@ -177,6 +177,17 @@ func (vm *VMProcess) ensureMapped(vpn mem.VPN, forWrite bool) mem.FrameID {
 		vm.host.noteMapped(vm, vpn)
 		return f
 	default:
+		if pte.Huge {
+			// Touch bookkeeping lives on the stored head entry; middle PTEs
+			// are synthesized. Huge mappings are never COW (collapse refuses
+			// shared runs), so writes need no break.
+			head := mem.HugeAlign(vpn)
+			he, _ := vm.hpt.Lookup(head)
+			he.LastUse = vm.host.now()
+			he.Accessed = true
+			vm.hpt.Set(head, he)
+			return pte.Frame
+		}
 		pte.LastUse = vm.host.now()
 		pte.Accessed = true
 		if forWrite && pte.COW {
@@ -240,6 +251,11 @@ func (vm *VMProcess) ZeroGuestPage(gpfn uint64) {
 // released and the next touch demand-faults a fresh zero page.
 func (vm *VMProcess) ReleaseGuestPage(gpfn uint64) {
 	vpn := vm.GPFNToHostVPN(gpfn)
+	if pte, ok := vm.hpt.Lookup(vpn); ok && pte.Huge {
+		// The page is inside a huge mapping; Linux splits the huge page
+		// before freeing a subpage, and so do we.
+		vm.SplitHuge(mem.HugeAlign(vpn))
+	}
 	pte, ok := vm.hpt.Delete(vpn)
 	if !ok {
 		return
@@ -264,6 +280,18 @@ func (vm *VMProcess) ResolveResident(vpn mem.VPN) (mem.FrameID, bool) {
 	return pte.Frame, true
 }
 
+// ResidentPTE reports the full PTE backing a resident host-virtual page,
+// without faulting, swapping in, or updating access state. Unlike
+// ResolveResident it exposes the Huge and COW flags, which the KSM scanner
+// and the THP daemon dispatch on.
+func (vm *VMProcess) ResidentPTE(vpn mem.VPN) (mem.PTE, bool) {
+	pte, ok := vm.hpt.Lookup(vpn)
+	if !ok || pte.Swapped {
+		return mem.PTE{}, false
+	}
+	return pte, true
+}
+
 // RemapShared replaces the frame behind vpn with an already-referenced
 // shared frame, write-protecting the mapping. The caller (KSM) must have
 // IncRef'd shared before calling; the old frame's reference is dropped.
@@ -271,6 +299,9 @@ func (vm *VMProcess) RemapShared(vpn mem.VPN, shared mem.FrameID) {
 	pte, ok := vm.hpt.Lookup(vpn)
 	if !ok || pte.Swapped {
 		panic("hypervisor: RemapShared on non-resident page")
+	}
+	if pte.Huge {
+		panic("hypervisor: RemapShared inside a huge mapping (split it first)")
 	}
 	vm.host.phys.DecRef(pte.Frame)
 	pte.Frame = shared
@@ -284,6 +315,9 @@ func (vm *VMProcess) WriteProtect(vpn mem.VPN) {
 	pte, ok := vm.hpt.Lookup(vpn)
 	if !ok || pte.Swapped {
 		panic("hypervisor: WriteProtect on non-resident page")
+	}
+	if pte.Huge {
+		panic("hypervisor: WriteProtect inside a huge mapping (split it first)")
 	}
 	pte.COW = true
 	vm.hpt.Set(vpn, pte)

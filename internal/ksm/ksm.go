@@ -57,6 +57,12 @@ type Config struct {
 	// the duty-cycle estimate. 2 500 ns reproduces the paper's ≈25 % CPU at
 	// 10 000 pages/100 ms and ≈2 % at 1 000 pages/100 ms.
 	ScanCostNanos int
+	// SplitHugePages lets the scanner split a transparent huge mapping back
+	// into base pages when it sees that a subpage duplicates known content
+	// (a stable page or an unstable candidate), recovering sharing at the
+	// cost of TLB reach. Off, huge-mapped pages are skipped entirely — the
+	// default Linux behaviour, where THP hides duplicates from KSM.
+	SplitHugePages bool
 }
 
 // DefaultConfig matches the paper's steady-state setting.
@@ -87,6 +93,8 @@ type Stats struct {
 	COWBreaks      uint64
 	StalePruned    uint64
 	HashRejects    uint64 // hash matched but bytes differed (verification)
+	HugeSkips      uint64 // candidates skipped because a huge mapping covers them
+	HugeSplits     uint64 // huge mappings split by KSM to recover sharing
 	CPUBusy        simclock.Time
 	CPUWall        simclock.Time
 }
@@ -318,13 +326,18 @@ func (k *KSM) endPass() {
 // scanPage runs the merge pipeline on one candidate page.
 func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) {
 	pm := k.host.Phys()
-	frame, ok := vm.ResolveResident(vpn)
+	pte, ok := vm.ResidentPTE(vpn)
 	if !ok {
 		k.stats.NotResident++
 		return
 	}
+	frame := pte.Frame
 	if pm.IsKSM(frame) {
 		k.stats.AlreadyShared++
+		return
+	}
+	if pte.Huge {
+		k.scanHugePage(vm, vpn, frame)
 		return
 	}
 
@@ -353,8 +366,12 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) {
 		if ent.key == key {
 			continue
 		}
-		otherFrame, ok := ent.key.vm.ResolveResident(ent.key.vpn)
-		if !ok || pm.IsKSM(otherFrame) || pm.Checksum(otherFrame) != ent.checksum {
+		otherPTE, ok := ent.key.vm.ResidentPTE(ent.key.vpn)
+		if !ok {
+			continue
+		}
+		otherFrame := otherPTE.Frame
+		if pm.IsKSM(otherFrame) || pm.Checksum(otherFrame) != ent.checksum {
 			// Stale: page went away, was merged via another path, or was
 			// rewritten since we recorded it.
 			continue
@@ -362,6 +379,18 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) {
 		if !k.cfg.HashOnly && !pm.Equal(frame, otherFrame) {
 			k.stats.HashRejects++
 			continue
+		}
+		if otherPTE.Huge {
+			// The partner was collapsed into a huge mapping after we
+			// recorded it. Under the split policy the verified duplicate
+			// justifies dissolving the huge page; otherwise THP wins and
+			// the merge is forgone.
+			if !k.cfg.SplitHugePages {
+				k.stats.HugeSkips++
+				continue
+			}
+			ent.key.vm.SplitHuge(mem.HugeAlign(ent.key.vpn))
+			k.stats.HugeSplits++
 		}
 		// Promote the partner to a stable page and remap the candidate.
 		pm.SetKSM(otherFrame, true)
@@ -381,6 +410,67 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) {
 	}
 	k.unstable[sum] = append(bucket, unstableEntry{key: key, checksum: sum})
 	k.unstableN++
+}
+
+// scanHugePage handles a candidate covered by a transparent huge mapping.
+// Without the split policy the page is simply skipped (THP hides it from
+// merging). With it, the scanner checks whether the subpage's content
+// duplicates a stable page or a still-valid unstable candidate; a verified
+// duplicate splits the huge mapping and the page re-enters the normal merge
+// pipeline immediately.
+func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.FrameID) {
+	if !k.cfg.SplitHugePages {
+		k.stats.HugeSkips++
+		return
+	}
+	pm := k.host.Phys()
+	sum := pm.Checksum(frame)
+	if k.cfg.ChecksumGate {
+		// Same volatility gate as base pages: splitting a huge page for a
+		// still-changing subpage would only trade TLB reach for a merge that
+		// breaks right back.
+		key := pageKey{vm: vm, vpn: vpn}
+		last, seen := k.checksums[key]
+		k.checksums[key] = sum
+		if !seen || last != sum {
+			k.stats.ChecksumSkips++
+			return
+		}
+	}
+	key := pageKey{vm: vm, vpn: vpn}
+	dup := false
+	if _, hit := k.stable.lookup(frame); hit {
+		dup = true
+	} else {
+		for _, ent := range k.unstable[sum] {
+			if ent.key == key {
+				continue
+			}
+			otherFrame, ok := ent.key.vm.ResolveResident(ent.key.vpn)
+			if !ok || pm.Checksum(otherFrame) != ent.checksum {
+				continue
+			}
+			if k.cfg.HashOnly || pm.Equal(frame, otherFrame) {
+				dup = true
+				break
+			}
+		}
+	}
+	if !dup {
+		// No known duplicate yet — record the page as an unstable candidate
+		// anyway. Duplicates that are huge-mapped in *every* VM could never
+		// find each other otherwise; when a later scan matches this entry,
+		// both sides are split and merged (the partner-huge path in
+		// scanPage).
+		k.unstable[sum] = append(k.unstable[sum], unstableEntry{key: key, checksum: sum})
+		k.unstableN++
+		return
+	}
+	vm.SplitHuge(mem.HugeAlign(vpn))
+	k.stats.HugeSplits++
+	// The mapping is base-grained now; rescan so the duplicate merges in
+	// this same visit (the gate entry written above lets it through).
+	k.scanPage(vm, vpn)
 }
 
 // Instrument registers the scanner's telemetry gauges on the registry.
@@ -426,6 +516,11 @@ func (k *KSM) Instrument(r *metrics.Registry) {
 	})
 	r.Gauge("ksm.pass.pages_volatile", func() float64 {
 		return float64(k.stats.ChecksumSkips - k.passStart.ChecksumSkips)
+	})
+	r.Gauge("ksm.huge_skips", func() float64 { return float64(k.stats.HugeSkips) })
+	r.Gauge("ksm.huge_splits", func() float64 { return float64(k.stats.HugeSplits) })
+	r.Gauge("ksm.pass.sharing_lost_pages", func() float64 {
+		return float64(k.stats.HugeSkips - k.passStart.HugeSkips)
 	})
 }
 

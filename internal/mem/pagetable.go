@@ -1,12 +1,19 @@
 package mem
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // VPN is a virtual page number: a virtual address divided by the page size.
 // The same type serves every translation layer (guest-virtual, guest-
 // physical, host-virtual), because each layer is just a sparse mapping from
 // page numbers to the next layer down.
 type VPN uint64
+
+// HugeAlign rounds vpn down to the HugePages boundary that would head a huge
+// mapping covering it.
+func HugeAlign(vpn VPN) VPN { return vpn &^ (HugePages - 1) }
 
 // PTE is a page-table entry. A PTE exists in a PageTable only when the page
 // is present (mapped to a frame) or swapped out (content lives in a swap
@@ -22,6 +29,11 @@ type PTE struct {
 	// Frame is NilFrame and SwapSlot identifies the swap page.
 	Swapped  bool
 	SwapSlot uint32
+	// Huge marks a transparent-huge-page mapping: one stored entry at a
+	// HugePages-aligned VPN covers the whole aligned run, backed by a
+	// contiguous frame block. Lookup synthesizes the middle entries, so only
+	// the head lives in the table.
+	Huge bool
 	// LastUse is a virtual timestamp (simclock microseconds) of the most
 	// recent access, maintained by the hypervisor for LRU eviction.
 	LastUse int64
@@ -33,12 +45,25 @@ type PTE struct {
 
 // PageTable is a sparse mapping from virtual page numbers to PTEs.
 //
+// Huge mappings store a single entry at the aligned head VPN with Huge set;
+// lookups of the other HugePages-1 page numbers in the run synthesize their
+// PTE from the head (Frame = head frame + offset). Base entries may not be
+// installed inside a huge run — split it first.
+//
 // Iteration over the underlying map is randomized by the runtime, so any
 // code that needs determinism must use SortedVPNs or RangeSorted. Linear
 // scans (KSM, the analyzer) walk explicit address ranges instead and are
 // deterministic by construction.
 type PageTable struct {
 	entries map[VPN]PTE
+	// present counts resident (non-swapped) entries, maintained on
+	// Set/Delete so PresentCount is O(1) for telemetry gauges. A huge entry
+	// counts as HugePages resident pages.
+	present int
+	// hugeHeads counts huge entries; when zero, Lookup and the mutation
+	// guards skip all huge-range work, so tables that never collapse pay
+	// nothing.
+	hugeHeads int
 }
 
 // NewPageTable returns an empty table.
@@ -46,31 +71,120 @@ func NewPageTable() *PageTable {
 	return &PageTable{entries: make(map[VPN]PTE)}
 }
 
-// Len reports the number of entries (present + swapped).
+// Len reports the number of stored entries (present + swapped). A huge
+// mapping counts as one entry.
 func (pt *PageTable) Len() int { return len(pt.entries) }
 
-// Lookup fetches the entry for vpn.
+// HugeMappings reports how many huge entries the table holds.
+func (pt *PageTable) HugeMappings() int { return pt.hugeHeads }
+
+// hugeHead returns the huge entry covering vpn, if one exists.
+func (pt *PageTable) hugeHead(vpn VPN) (VPN, PTE, bool) {
+	if pt.hugeHeads == 0 {
+		return 0, PTE{}, false
+	}
+	head := HugeAlign(vpn)
+	e, ok := pt.entries[head]
+	if !ok || !e.Huge {
+		return 0, PTE{}, false
+	}
+	return head, e, true
+}
+
+// Lookup fetches the entry for vpn. Page numbers inside a huge run answer
+// with a synthesized entry: the head's flags and the frame at the matching
+// offset into the backing block, with Huge set so callers can tell.
 func (pt *PageTable) Lookup(vpn VPN) (PTE, bool) {
 	e, ok := pt.entries[vpn]
-	return e, ok
+	if ok {
+		return e, true
+	}
+	if head, he, ok := pt.hugeHead(vpn); ok {
+		he.Frame += FrameID(vpn - head)
+		return he, true
+	}
+	return PTE{}, false
 }
 
-// Set installs or replaces the entry for vpn.
+// Set installs or replaces the entry for vpn. Installing a base entry inside
+// an existing huge run is a bug in the caller (the run must be split first)
+// and panics; replacing a huge head with a non-huge entry likewise.
 func (pt *PageTable) Set(vpn VPN, e PTE) {
+	if e.Huge {
+		if vpn%HugePages != 0 {
+			panic(fmt.Sprintf("mem: huge PTE at unaligned vpn %d", vpn))
+		}
+	} else if head, _, ok := pt.hugeHead(vpn); ok {
+		panic(fmt.Sprintf("mem: base PTE at vpn %d inside huge run headed at %d", vpn, head))
+	}
+	old, existed := pt.entries[vpn]
 	pt.entries[vpn] = e
+	pt.present += pteResident(e) - residentIf(existed, old)
+	pt.hugeHeads += hugeIf(e.Huge) - hugeIf(existed && old.Huge)
 }
 
-// Delete removes the entry for vpn, reporting whether it existed.
+// Delete removes the entry for vpn, reporting whether it existed. Deleting
+// inside a huge run (including its head) panics — split the run first, then
+// delete the base entries.
 func (pt *PageTable) Delete(vpn VPN) (PTE, bool) {
+	if head, _, ok := pt.hugeHead(vpn); ok {
+		panic(fmt.Sprintf("mem: delete of vpn %d inside huge run headed at %d", vpn, head))
+	}
 	e, ok := pt.entries[vpn]
 	if ok {
 		delete(pt.entries, vpn)
+		pt.present -= pteResident(e)
 	}
 	return e, ok
 }
 
-// Range calls fn for every entry in unspecified order, stopping early if fn
-// returns false. Use only for order-insensitive aggregation.
+// InstallHuge collapses the run headed at the aligned vpn into one huge
+// entry backed by the frame block at base: any stored base entries in the
+// run are dropped and replaced by the single huge head.
+func (pt *PageTable) InstallHuge(vpn VPN, e PTE) {
+	if vpn%HugePages != 0 {
+		panic(fmt.Sprintf("mem: InstallHuge at unaligned vpn %d", vpn))
+	}
+	for i := VPN(0); i < HugePages; i++ {
+		if old, ok := pt.entries[vpn+i]; ok {
+			if old.Huge {
+				panic(fmt.Sprintf("mem: InstallHuge over existing huge run at %d", vpn))
+			}
+			delete(pt.entries, vpn+i)
+			pt.present -= pteResident(old)
+		}
+	}
+	e.Huge = true
+	pt.entries[vpn] = e
+	pt.present += HugePages
+	pt.hugeHeads++
+}
+
+// SplitHuge dissolves the huge entry headed at vpn into HugePages base
+// entries pointing at consecutive frames, preserving the head's flags. The
+// backing frames must already have been released from their block (see
+// PhysMem.SplitHugeBlock). Resident count is unchanged.
+func (pt *PageTable) SplitHuge(vpn VPN) {
+	e, ok := pt.entries[vpn]
+	if !ok || !e.Huge {
+		panic(fmt.Sprintf("mem: SplitHuge at vpn %d: no huge entry", vpn))
+	}
+	e.Huge = false
+	// Replace the head first so the hugeHead guard in Set no longer sees the
+	// run, then fan the remaining entries out.
+	pt.entries[vpn] = e
+	pt.hugeHeads--
+	for i := VPN(1); i < HugePages; i++ {
+		sub := e
+		sub.Frame = e.Frame + FrameID(i)
+		pt.entries[vpn+i] = sub
+	}
+	// present is unchanged: HugePages resident pages before and after.
+}
+
+// Range calls fn for every stored entry in unspecified order, stopping early
+// if fn returns false. Huge runs are visited once via their head entry. Use
+// only for order-insensitive aggregation.
 func (pt *PageTable) Range(fn func(vpn VPN, e PTE) bool) {
 	for vpn, e := range pt.entries {
 		if !fn(vpn, e) {
@@ -79,7 +193,8 @@ func (pt *PageTable) Range(fn func(vpn VPN, e PTE) bool) {
 	}
 }
 
-// SortedVPNs returns all mapped page numbers in ascending order.
+// SortedVPNs returns all stored page numbers in ascending order (huge runs
+// contribute only their head).
 func (pt *PageTable) SortedVPNs() []VPN {
 	vpns := make([]VPN, 0, len(pt.entries))
 	for vpn := range pt.entries {
@@ -89,7 +204,7 @@ func (pt *PageTable) SortedVPNs() []VPN {
 	return vpns
 }
 
-// RangeSorted calls fn for every entry in ascending VPN order.
+// RangeSorted calls fn for every stored entry in ascending VPN order.
 func (pt *PageTable) RangeSorted(fn func(vpn VPN, e PTE) bool) {
 	for _, vpn := range pt.SortedVPNs() {
 		if !fn(vpn, pt.entries[vpn]) {
@@ -98,13 +213,32 @@ func (pt *PageTable) RangeSorted(fn func(vpn VPN, e PTE) bool) {
 	}
 }
 
-// PresentCount reports how many entries are resident (not swapped).
-func (pt *PageTable) PresentCount() int {
-	n := 0
-	for _, e := range pt.entries {
-		if !e.Swapped {
-			n++
-		}
+// PresentCount reports how many pages are resident (not swapped), counting a
+// huge mapping as HugePages pages. Maintained on every mutation, so this is
+// O(1).
+func (pt *PageTable) PresentCount() int { return pt.present }
+
+// pteResident is the number of resident pages an entry contributes.
+func pteResident(e PTE) int {
+	if e.Swapped {
+		return 0
 	}
-	return n
+	if e.Huge {
+		return HugePages
+	}
+	return 1
+}
+
+func residentIf(existed bool, e PTE) int {
+	if !existed {
+		return 0
+	}
+	return pteResident(e)
+}
+
+func hugeIf(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -90,3 +90,118 @@ func TestPropertySetLookupRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestHugeLookupSynthesizesRun(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(HugePages, PTE{Frame: 512, Writable: true, LastUse: 7})
+	if pt.Len() != 1 || pt.HugeMappings() != 1 {
+		t.Fatalf("len=%d huge=%d after one huge install", pt.Len(), pt.HugeMappings())
+	}
+	for i := VPN(0); i < HugePages; i++ {
+		e, ok := pt.Lookup(HugePages + i)
+		if !ok {
+			t.Fatalf("vpn %d in run not mapped", HugePages+i)
+		}
+		if !e.Huge || e.Frame != 512+FrameID(i) || !e.Writable || e.LastUse != 7 {
+			t.Fatalf("vpn %d synthesized wrong: %+v", HugePages+i, e)
+		}
+	}
+	if _, ok := pt.Lookup(HugePages - 1); ok {
+		t.Fatal("page before the run mapped")
+	}
+	if _, ok := pt.Lookup(2 * HugePages); ok {
+		t.Fatal("page after the run mapped")
+	}
+}
+
+func TestHugeMutationGuards(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(0, PTE{Frame: 0})
+	mustPanic(t, "Set of base PTE inside huge run", func() { pt.Set(3, PTE{Frame: 900}) })
+	mustPanic(t, "Set of non-huge PTE over huge head", func() { pt.Set(0, PTE{Frame: 900}) })
+	mustPanic(t, "Delete inside huge run", func() { pt.Delete(5) })
+	mustPanic(t, "Delete of huge head", func() { pt.Delete(0) })
+	mustPanic(t, "huge Set at unaligned vpn", func() { pt.Set(HugePages+1, PTE{Frame: 512, Huge: true}) })
+	mustPanic(t, "InstallHuge at unaligned vpn", func() { pt.InstallHuge(HugePages+1, PTE{Frame: 512}) })
+	mustPanic(t, "InstallHuge over huge run", func() { pt.InstallHuge(0, PTE{Frame: 512}) })
+	mustPanic(t, "SplitHuge of non-huge vpn", func() { pt.SplitHuge(HugePages) })
+}
+
+func TestInstallHugeDropsBaseEntries(t *testing.T) {
+	pt := NewPageTable()
+	pt.Set(1, PTE{Frame: 100})
+	pt.Set(2, PTE{Frame: 101, Swapped: true, SwapSlot: 9})
+	pt.Set(HugePages+3, PTE{Frame: 200})
+	pt.InstallHuge(0, PTE{Frame: 0, Writable: true})
+	if got := pt.PresentCount(); got != HugePages+1 {
+		t.Fatalf("present %d, want run (%d) + outside page", got, HugePages)
+	}
+	e, _ := pt.Lookup(2)
+	if e.Swapped || e.Frame != 2 {
+		t.Fatalf("swapped base entry survived collapse: %+v", e)
+	}
+	if e, _ := pt.Lookup(HugePages + 3); e.Huge || e.Frame != 200 {
+		t.Fatalf("entry outside the run disturbed: %+v", e)
+	}
+}
+
+func TestSplitHugeRoundTrip(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(0, PTE{Frame: 1024, Writable: true, LastUse: 3})
+	before := pt.PresentCount()
+	pt.SplitHuge(0)
+	if pt.HugeMappings() != 0 {
+		t.Fatal("huge mapping survived split")
+	}
+	if pt.PresentCount() != before {
+		t.Fatalf("present changed across split: %d -> %d", before, pt.PresentCount())
+	}
+	if pt.Len() != HugePages {
+		t.Fatalf("len %d after split, want %d base entries", pt.Len(), HugePages)
+	}
+	for i := VPN(0); i < HugePages; i++ {
+		e, ok := pt.Lookup(i)
+		if !ok || e.Huge || e.Frame != 1024+FrameID(i) || !e.Writable || e.LastUse != 3 {
+			t.Fatalf("vpn %d wrong after split: %+v ok=%v", i, e, ok)
+		}
+	}
+	// Base entries are mutable again.
+	pt.Set(3, PTE{Frame: 9000})
+	if _, ok := pt.Delete(4); !ok {
+		t.Fatal("delete of split base entry failed")
+	}
+	if pt.PresentCount() != before-1 {
+		t.Fatalf("present %d after one delete", pt.PresentCount())
+	}
+}
+
+func TestPresentCountMatchesRecountWithHuge(t *testing.T) {
+	pt := NewPageTable()
+	pt.Set(5, PTE{Frame: 1})
+	pt.Set(6, PTE{Swapped: true, SwapSlot: 1})
+	pt.InstallHuge(HugePages, PTE{Frame: 512})
+	pt.InstallHuge(4*HugePages, PTE{Frame: 1536})
+	pt.SplitHuge(4 * HugePages)
+	pt.Delete(4*HugePages + 7)
+	recount := 0
+	pt.Range(func(_ VPN, e PTE) bool {
+		recount += pteResident(e)
+		return true
+	})
+	if pt.PresentCount() != recount {
+		t.Fatalf("PresentCount %d, recount %d", pt.PresentCount(), recount)
+	}
+	if want := 1 + HugePages + (HugePages - 1); recount != want {
+		t.Fatalf("recount %d, want %d", recount, want)
+	}
+}

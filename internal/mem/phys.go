@@ -10,6 +10,11 @@ import (
 // the 4 KiB base pages of the paper's x86 and POWER measurement platforms.
 const DefaultPageSize = 4096
 
+// HugePages is the number of base pages covered by one transparent huge
+// page: 2 MiB / 4 KiB = 512, as on the paper's x86 hosts. Huge blocks are
+// HugePages-aligned runs of frames allocated and mapped as one unit.
+const HugePages = 512
+
 // FrameID names a host physical page frame. NilFrame is the zero-value
 // sentinel for "no frame".
 type FrameID uint32
@@ -29,6 +34,14 @@ type frame struct {
 	data   []byte
 	refcnt int32
 	ksm    bool // frame is a KSM stable-tree page (write-protected, shared)
+	// huge marks a frame inside an allocated huge block: one huge PTE maps
+	// the whole aligned run, so the frame is never shared or freed
+	// individually (SplitHugeBlock dissolves the block first).
+	huge bool
+	// inFree marks a frame id as live on the free stack. AllocHugeBlock
+	// claims free frames without removing their stack entries, so Alloc
+	// validates entries lazily against this flag.
+	inFree bool
 	// sum caches the FNV-1a checksum of data; invalidated on every write.
 	// KSM's volatility gate checksums every scanned page each pass, and the
 	// cache makes re-scanning untouched pages O(1).
@@ -43,8 +56,18 @@ type frame struct {
 type PhysMem struct {
 	pageSize int
 	frames   []frame
-	free     []FrameID
-	inUse    int
+	// free is a stack of candidate frame ids. It may contain stale entries
+	// for frames AllocHugeBlock claimed in place; the per-frame inFree flag
+	// is authoritative and freeCount counts the frames actually free.
+	free      []FrameID
+	freeCount int
+	inUse     int
+
+	// blockFree tracks, per aligned HugePages block, how many of its frames
+	// are free — the huge-block allocator picks the lowest fully-free block.
+	// Frames past the last whole block are never huge-backed.
+	blockFree  []int
+	hugeBlocks int
 
 	zero    []byte // canonical zero page for comparisons
 	zeroSum uint64 // checksum of the zero page, precomputed per pool
@@ -84,6 +107,12 @@ func NewPhysMem(totalBytes int64, pageSize int) *PhysMem {
 	// frame assignment deterministic and debuggable.
 	for i := int64(n) - 1; i >= 0; i-- {
 		pm.free = append(pm.free, FrameID(i))
+		pm.frames[i].inFree = true
+	}
+	pm.freeCount = int(n)
+	pm.blockFree = make([]int, n/HugePages)
+	for i := range pm.blockFree {
+		pm.blockFree[i] = HugePages
 	}
 	return pm
 }
@@ -98,7 +127,7 @@ func (pm *PhysMem) TotalFrames() int { return len(pm.frames) }
 func (pm *PhysMem) FramesInUse() int { return pm.inUse }
 
 // FreeFrames reports how many frames are available.
-func (pm *PhysMem) FreeFrames() int { return len(pm.free) }
+func (pm *PhysMem) FreeFrames() int { return pm.freeCount }
 
 // BytesInUse reports allocated physical memory in bytes.
 func (pm *PhysMem) BytesInUse() int64 { return int64(pm.inUse) * int64(pm.pageSize) }
@@ -111,22 +140,108 @@ func (pm *PhysMem) KSMFrames() int { return pm.ksmFrames }
 // happen to be all zero does not count; the gauge tracks the untouched set.
 func (pm *PhysMem) ZeroFrames() int { return pm.zeroFrames }
 
+// HugeBlocks reports how many huge blocks are currently allocated.
+func (pm *PhysMem) HugeBlocks() int { return pm.hugeBlocks }
+
+// HugeFrames reports how many frames currently back huge mappings.
+func (pm *PhysMem) HugeFrames() int { return pm.hugeBlocks * HugePages }
+
+// IsHugeFrame reports whether the frame belongs to an allocated huge block.
+func (pm *PhysMem) IsHugeFrame(id FrameID) bool { return pm.frameAt(id).huge }
+
+// noteTaken and noteFreed maintain the free count and the per-block free
+// gauges at every frame state transition.
+func (pm *PhysMem) noteTaken(id FrameID) {
+	pm.frames[id].inFree = false
+	pm.freeCount--
+	if b := int(id) / HugePages; b < len(pm.blockFree) {
+		pm.blockFree[b]--
+	}
+}
+
+func (pm *PhysMem) noteFreed(id FrameID) {
+	pm.frames[id].inFree = true
+	pm.freeCount++
+	if b := int(id) / HugePages; b < len(pm.blockFree) {
+		pm.blockFree[b]++
+	}
+}
+
 // Alloc hands out a zeroed frame with refcount 1.
 func (pm *PhysMem) Alloc() (FrameID, error) {
-	if len(pm.free) == 0 {
+	if pm.freeCount == 0 {
 		return NilFrame, ErrOutOfMemory
 	}
-	id := pm.free[len(pm.free)-1]
-	pm.free = pm.free[:len(pm.free)-1]
+	// Pop until a live entry surfaces: entries for frames that
+	// AllocHugeBlock claimed in place are skipped lazily here. freeCount > 0
+	// guarantees at least one live entry remains on the stack.
+	var id FrameID
+	for {
+		id = pm.free[len(pm.free)-1]
+		pm.free = pm.free[:len(pm.free)-1]
+		if pm.frames[id].inFree {
+			break
+		}
+	}
+	pm.noteTaken(id)
 	f := &pm.frames[id]
 	f.data = nil
 	f.refcnt = 1
 	f.ksm = false
+	f.huge = false
 	f.sumValid = false
 	pm.inUse++
 	pm.allocs++
 	pm.zeroFrames++
 	return id, nil
+}
+
+// AllocHugeBlock claims one aligned run of HugePages free frames — the
+// backing of a transparent huge page. Every frame comes back zeroed with
+// refcount 1 and the huge flag set. The scan prefers the lowest fully-free
+// block, keeping frame assignment deterministic; there is no defragmentation,
+// so a fragmented pool returns ErrOutOfMemory even when enough scattered
+// frames are free (exactly khugepaged's allocation-failure mode).
+func (pm *PhysMem) AllocHugeBlock() (FrameID, error) {
+	for b, n := range pm.blockFree {
+		if n != HugePages {
+			continue
+		}
+		base := FrameID(b * HugePages)
+		for i := 0; i < HugePages; i++ {
+			id := base + FrameID(i)
+			pm.noteTaken(id)
+			f := &pm.frames[id]
+			f.data = nil
+			f.refcnt = 1
+			f.ksm = false
+			f.huge = true
+			f.sumValid = false
+		}
+		pm.inUse += HugePages
+		pm.allocs += HugePages
+		pm.zeroFrames += HugePages
+		pm.hugeBlocks++
+		return base, nil
+	}
+	return NilFrame, ErrOutOfMemory
+}
+
+// SplitHugeBlock dissolves a huge block back into HugePages independent base
+// frames; contents and refcounts are preserved. The caller re-points its
+// page tables at the now-ordinary frames (see hypervisor.VMProcess.SplitHuge).
+func (pm *PhysMem) SplitHugeBlock(base FrameID) {
+	if base%HugePages != 0 {
+		panic(fmt.Sprintf("mem: SplitHugeBlock(%d) not block-aligned", base))
+	}
+	for i := 0; i < HugePages; i++ {
+		f := pm.frameAt(base + FrameID(i))
+		if !f.huge {
+			panic(fmt.Sprintf("mem: SplitHugeBlock(%d): frame %d not huge", base, int(base)+i))
+		}
+		f.huge = false
+	}
+	pm.hugeBlocks--
 }
 
 func (pm *PhysMem) frameAt(id FrameID) *frame {
@@ -141,8 +256,13 @@ func (pm *PhysMem) frameAt(id FrameID) *frame {
 }
 
 // IncRef adds a reference to a live frame (used when a page becomes shared).
+// Huge-block frames are mapped by exactly one huge PTE and never shared.
 func (pm *PhysMem) IncRef(id FrameID) {
-	pm.frameAt(id).refcnt++
+	f := pm.frameAt(id)
+	if f.huge {
+		panic(fmt.Sprintf("mem: IncRef on huge-block frame %d", id))
+	}
+	f.refcnt++
 }
 
 // RefCount reports the current reference count of a live frame.
@@ -151,9 +271,13 @@ func (pm *PhysMem) RefCount(id FrameID) int {
 }
 
 // DecRef drops a reference; the frame returns to the free list when the
-// count reaches zero.
+// count reaches zero. Huge-block frames cannot be freed individually — the
+// owner must SplitHugeBlock first.
 func (pm *PhysMem) DecRef(id FrameID) {
 	f := pm.frameAt(id)
+	if f.huge {
+		panic(fmt.Sprintf("mem: DecRef on huge-block frame %d (split the block first)", id))
+	}
 	f.refcnt--
 	if f.refcnt == 0 {
 		if f.data == nil {
@@ -165,6 +289,7 @@ func (pm *PhysMem) DecRef(id FrameID) {
 		f.data = nil
 		f.ksm = false
 		pm.free = append(pm.free, id)
+		pm.noteFreed(id)
 		pm.inUse--
 		pm.frees++
 	}
@@ -174,6 +299,9 @@ func (pm *PhysMem) DecRef(id FrameID) {
 // are shared copy-on-write; the flag lets the analyzer attribute savings.
 func (pm *PhysMem) SetKSM(id FrameID, v bool) {
 	f := pm.frameAt(id)
+	if v && f.huge {
+		panic(fmt.Sprintf("mem: SetKSM on huge-block frame %d", id))
+	}
 	if v && !f.ksm {
 		pm.ksmFrames++
 	} else if !v && f.ksm {
@@ -353,6 +481,6 @@ func (pm *PhysMem) Stats() Stats {
 		Frees:        pm.frees,
 		Materialized: pm.materialized,
 		InUse:        pm.inUse,
-		Free:         len(pm.free),
+		Free:         pm.freeCount,
 	}
 }

@@ -1,0 +1,203 @@
+package mem
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// physModel mirrors what a correct PhysMem must report: which frames are
+// live, their refcounts, and which belong to un-split huge blocks.
+type physModel struct {
+	pm   *PhysMem
+	refs map[FrameID]int // live base frames
+	huge []FrameID       // bases of live huge blocks
+	ksm  map[FrameID]bool
+}
+
+func newPhysModel(pages int) *physModel {
+	return &physModel{
+		pm:   NewPhysMem(int64(pages)*DefaultPageSize, DefaultPageSize),
+		refs: map[FrameID]int{},
+		ksm:  map[FrameID]bool{},
+	}
+}
+
+// step applies one operation selected by op, keeping the model in sync.
+func (m *physModel) step(op byte, r *rand.Rand) {
+	pick := func() (FrameID, bool) {
+		if len(m.refs) == 0 {
+			return 0, false
+		}
+		ids := make([]FrameID, 0, len(m.refs))
+		for id := range m.refs {
+			ids = append(ids, id)
+		}
+		// Sort so the pick depends only on the rand stream, not on Go's
+		// randomized map iteration order.
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		return ids[r.Intn(len(ids))], true
+	}
+	switch op % 10 {
+	case 0, 1: // alloc
+		id, err := m.pm.Alloc()
+		if err == nil {
+			m.refs[id] = 1
+		}
+	case 2: // alloc huge block
+		base, err := m.pm.AllocHugeBlock()
+		if err == nil {
+			m.huge = append(m.huge, base)
+		}
+	case 3: // split a huge block into base frames
+		if len(m.huge) > 0 {
+			i := r.Intn(len(m.huge))
+			base := m.huge[i]
+			m.huge = append(m.huge[:i], m.huge[i+1:]...)
+			m.pm.SplitHugeBlock(base)
+			for j := 0; j < HugePages; j++ {
+				m.refs[base+FrameID(j)] = 1
+			}
+		}
+	case 4: // incref
+		if id, ok := pick(); ok {
+			m.pm.IncRef(id)
+			m.refs[id]++
+		}
+	case 5: // decref
+		if id, ok := pick(); ok {
+			m.pm.DecRef(id)
+			if m.refs[id]--; m.refs[id] == 0 {
+				delete(m.refs, id)
+				delete(m.ksm, id)
+			}
+		}
+	case 6: // fill with content (not on KSM stable pages)
+		if id, ok := pick(); ok && !m.ksm[id] {
+			m.pm.FillFrame(id, Seed(r.Uint64()))
+		}
+	case 7: // zero (not on KSM stable pages)
+		if id, ok := pick(); ok && !m.ksm[id] {
+			m.pm.ZeroFrame(id)
+		}
+	case 8: // toggle the KSM stable flag
+		if id, ok := pick(); ok {
+			v := !m.ksm[id]
+			m.pm.SetKSM(id, v)
+			if v {
+				m.ksm[id] = true
+			} else {
+				delete(m.ksm, id)
+			}
+		}
+	case 9: // read-only probes must not disturb accounting
+		if id, ok := pick(); ok {
+			m.pm.Checksum(id)
+			m.pm.IsZero(id)
+			_ = m.pm.Bytes(id)
+		}
+	}
+}
+
+// check recounts every gauge from scratch and compares with the maintained
+// counters. This is the satellite invariant: FramesInUse + FreeFrames ==
+// TotalFrames, and the KSM / zero / huge gauges match a full recount.
+func (m *physModel) check(t *testing.T) {
+	t.Helper()
+	pm := m.pm
+	if pm.FramesInUse()+pm.FreeFrames() != pm.TotalFrames() {
+		t.Fatalf("inUse %d + free %d != total %d",
+			pm.FramesInUse(), pm.FreeFrames(), pm.TotalFrames())
+	}
+	var inUse, zero, ksm, huge int
+	for i := range pm.frames {
+		f := &pm.frames[i]
+		if f.refcnt > 0 {
+			inUse++
+			if f.data == nil {
+				zero++
+			}
+		}
+		if f.ksm {
+			ksm++
+		}
+		if f.huge {
+			huge++
+		}
+	}
+	if inUse != pm.FramesInUse() {
+		t.Fatalf("FramesInUse %d, recount %d", pm.FramesInUse(), inUse)
+	}
+	if zero != pm.ZeroFrames() {
+		t.Fatalf("ZeroFrames %d, recount %d", pm.ZeroFrames(), zero)
+	}
+	if ksm != pm.KSMFrames() {
+		t.Fatalf("KSMFrames %d, recount %d", pm.KSMFrames(), ksm)
+	}
+	if huge != pm.HugeFrames() {
+		t.Fatalf("HugeFrames %d, recount %d", pm.HugeFrames(), huge)
+	}
+	wantLive := len(m.refs) + len(m.huge)*HugePages
+	if inUse != wantLive {
+		t.Fatalf("pool holds %d frames, model holds %d", inUse, wantLive)
+	}
+}
+
+// TestPhysMemAccountingProperty drives long random operation sequences over
+// a pool spanning several huge blocks and recounts the gauges throughout.
+func TestPhysMemAccountingProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		m := newPhysModel(3 * HugePages)
+		for step := 0; step < 4000; step++ {
+			m.step(byte(r.Intn(256)), r)
+			if step%250 == 0 {
+				m.check(t)
+			}
+		}
+		// Drain: split every huge block and release every reference, then
+		// the pool must be exactly as fresh.
+		for _, base := range m.huge {
+			m.pm.SplitHugeBlock(base)
+			for j := 0; j < HugePages; j++ {
+				m.refs[base+FrameID(j)] = 1
+			}
+		}
+		m.huge = nil
+		for id, n := range m.refs {
+			if m.ksm[id] {
+				m.pm.SetKSM(id, false)
+			}
+			for ; n > 0; n-- {
+				m.pm.DecRef(id)
+			}
+			delete(m.refs, id)
+			delete(m.ksm, id)
+		}
+		m.check(t)
+		if m.pm.FreeFrames() != m.pm.TotalFrames() || m.pm.FramesInUse() != 0 {
+			t.Fatalf("seed %d: pool not empty after drain: inUse=%d free=%d",
+				seed, m.pm.FramesInUse(), m.pm.FreeFrames())
+		}
+	}
+}
+
+// FuzzPhysMemAccounting feeds arbitrary op strings through the same model.
+// Each input byte selects one operation; the rand stream derived from the
+// input length keeps frame picks deterministic per input.
+func FuzzPhysMemAccounting(f *testing.F) {
+	f.Add([]byte{0, 2, 3, 5, 6, 8, 5, 9})
+	f.Add([]byte{2, 2, 2, 3, 3, 3, 5, 5, 5, 5})
+	f.Add([]byte{0, 0, 0, 4, 4, 5, 5, 5, 7, 1, 8, 8, 6})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 2048 {
+			ops = ops[:2048]
+		}
+		r := rand.New(rand.NewSource(int64(len(ops)) + 1))
+		m := newPhysModel(2 * HugePages)
+		for _, op := range ops {
+			m.step(op, r)
+		}
+		m.check(t)
+	})
+}

@@ -48,6 +48,7 @@ func (u PageUser) isJava() bool { return u.Kind == KindProcess && u.Proc.IsJava 
 // Analysis is a frozen snapshot of frame attribution.
 type Analysis struct {
 	pageSize int
+	phys     *mem.PhysMem
 	// users lists every (frame, user) mapping pair.
 	users map[mem.FrameID][]PageUser
 	// owner[frame] is the index into users[frame] of the owning mapper.
@@ -60,6 +61,7 @@ type Analysis struct {
 func Analyze(host *hypervisor.Host, kernels []*guestos.Kernel) *Analysis {
 	a := &Analysis{
 		pageSize: host.PageSize(),
+		phys:     host.Phys(),
 		users:    make(map[mem.FrameID][]PageUser),
 		owner:    make(map[mem.FrameID]int),
 	}
@@ -166,6 +168,48 @@ func (a *Analysis) SharedFrameCount() int {
 // TotalGuestBytes reports all host physical memory attributed to guests.
 func (a *Analysis) TotalGuestBytes() int64 {
 	return int64(len(a.users)) * int64(a.pageSize)
+}
+
+// FrameSizeCounts attributes the analyzed frames by backing page size:
+// hugeBacked frames are subpages of transparent huge pages (mapped by one
+// 2 MiB entry), base frames are ordinary 4 KiB mappings.
+func (a *Analysis) FrameSizeCounts() (hugeBacked, base int) {
+	for f := range a.users {
+		if a.phys.IsHugeFrame(f) {
+			hugeBacked++
+		} else {
+			base++
+		}
+	}
+	return hugeBacked, base
+}
+
+// HugeCoverage reports the fraction of attributed guest frames backed by
+// huge mappings — the benefit axis of the THP-vs-KSM tradeoff.
+func (a *Analysis) HugeCoverage() float64 {
+	huge, base := a.FrameSizeCounts()
+	if huge+base == 0 {
+		return 0
+	}
+	return float64(huge) / float64(huge+base)
+}
+
+// TLBEntries sizes the modeled TLB for the reach estimate: 1024 entries,
+// the order of a unified L2 TLB on the paper's era of x86 hosts.
+const TLBEntries = 1024
+
+// EstimatedTLBReachBytes estimates how much of the attributed memory a
+// TLB of TLBEntries entries can cover: a huge mapping spends one entry on
+// HugePages pages, a base page spends one entry on itself, so reach is the
+// entry count times the average bytes per mapping entry.
+func (a *Analysis) EstimatedTLBReachBytes() int64 {
+	huge, base := a.FrameSizeCounts()
+	entries := huge/mem.HugePages + base
+	if entries == 0 {
+		return 0
+	}
+	totalBytes := int64(huge+base) * int64(a.pageSize)
+	return TLBEntries * totalBytes / int64(entries)
 }
 
 // TotalSavingsBytes reports cluster-wide TPS savings: for each shared frame,

@@ -1,0 +1,293 @@
+// Package thp implements a transparent-huge-page collapse daemon in the
+// style of Linux's khugepaged. The daemon scans host-virtual ranges that VMs
+// register (guest RAM, like KSM's mergeable regions), HugePages-aligned run
+// by run, and collapses runs that are dense, resident, and privately mapped
+// into one huge mapping backed by a contiguous frame block
+// (hypervisor.VMProcess.CollapseHuge).
+//
+// THP and KSM pull the host in opposite directions: a collapsed run raises
+// TLB reach but hides its 4 KiB subpages from the merge scanner, so sharing
+// is forgone (or must be bought back by splitting — ksm.Config.
+// SplitHugePages). The thp-tradeoff experiment in internal/core sweeps the
+// policies against each other; FHPM (arXiv:2307.10618) measures the same
+// tension on real hardware.
+//
+// Deviation from Linux noted in DESIGN.md: khugepaged defaults to
+// 4096 pages every 10 s; our default is 8192 pages every 100 ms. The
+// simulator compresses a day of guest runtime into minutes of virtual time,
+// and the daemon must see a dense run before KSM's two-sighting checksum
+// gate merges pages out of it, or `always` would never contend with KSM at
+// all. The ratio of THP scan rate to KSM scan rate is what the tradeoff
+// experiment actually probes.
+package thp
+
+import (
+	"fmt"
+
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// Policy mirrors /sys/kernel/mm/transparent_hugepage/enabled.
+type Policy int
+
+const (
+	// PolicyNever disables collapse entirely; the daemon never starts.
+	PolicyNever Policy = iota
+	// PolicyMadvise collapses only ranges explicitly registered as
+	// huge-page candidates (Register with madvise=true).
+	PolicyMadvise
+	// PolicyAlways collapses every registered range.
+	PolicyAlways
+)
+
+// String reports the sysfs spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNever:
+		return "never"
+	case PolicyMadvise:
+		return "madvise"
+	case PolicyAlways:
+		return "always"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy converts the sysfs spelling back into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "never", "":
+		return PolicyNever, nil
+	case "madvise":
+		return PolicyMadvise, nil
+	case "always":
+		return PolicyAlways, nil
+	}
+	return PolicyNever, fmt.Errorf("thp: unknown policy %q (want never|madvise|always)", s)
+}
+
+// Config holds the daemon's tuning parameters, mirroring
+// /sys/kernel/mm/transparent_hugepage/khugepaged/*.
+type Config struct {
+	// Policy selects which registered ranges are eligible.
+	Policy Policy
+	// ScanPages is the number of base pages examined per wake-up
+	// (khugepaged's pages_to_scan).
+	ScanPages int
+	// SleepMillis is the sleep between wake-ups (scan_sleep_millisecs).
+	SleepMillis int
+	// MaxPtesNone is the per-run budget of absent pages a collapse may
+	// zero-fill (khugepaged's max_ptes_none; Linux defaults to 511, we
+	// default tighter to keep the bloat honest at simulation scale).
+	MaxPtesNone int
+}
+
+// DefaultConfig returns the simulator's defaults; see the package comment
+// for why the scan rate deviates from Linux.
+func DefaultConfig() Config {
+	return Config{
+		Policy:      PolicyNever,
+		ScanPages:   8192,
+		SleepMillis: 100,
+		MaxPtesNone: 64,
+	}
+}
+
+// Stats aggregates daemon counters, echoing khugepaged's vmstat names.
+type Stats struct {
+	PagesScanned   uint64 // base pages examined
+	Collapses      uint64 // runs collapsed (thp_collapse_alloc)
+	CollapseFailed uint64 // runs scanned but refused or failed
+	FullScans      uint64 // complete passes over all registered ranges
+	// Splits counts huge mappings dissolved by anyone — the evictor, KSM's
+	// split policy, or guest page releases (thp_split_page).
+	Splits uint64
+}
+
+// region is one registered scan range, aligned inward to whole runs.
+type region struct {
+	vm         *hypervisor.VMProcess
+	start, end mem.VPN // [start, end), HugePages-aligned
+	madvised   bool
+}
+
+// Daemon is the khugepaged instance for one host. A nil Daemon is inert:
+// every method is a no-op, so callers thread an optional daemon without
+// guards.
+type Daemon struct {
+	host *hypervisor.Host
+	cfg  Config
+
+	regions   []region
+	regionIdx int
+	cursor    mem.VPN
+
+	running bool
+	stats   Stats
+}
+
+// New creates a daemon for the host and hooks huge-split notifications so
+// Stats.Splits counts splits initiated elsewhere (eviction, KSM, releases).
+func New(host *hypervisor.Host, cfg Config) *Daemon {
+	if cfg.ScanPages <= 0 {
+		panic(fmt.Sprintf("thp: ScanPages = %d", cfg.ScanPages))
+	}
+	if cfg.SleepMillis <= 0 {
+		panic(fmt.Sprintf("thp: SleepMillis = %d", cfg.SleepMillis))
+	}
+	if cfg.MaxPtesNone < 0 || cfg.MaxPtesNone >= mem.HugePages {
+		panic(fmt.Sprintf("thp: MaxPtesNone = %d (want 0..%d)", cfg.MaxPtesNone, mem.HugePages-1))
+	}
+	d := &Daemon{host: host, cfg: cfg}
+	host.OnHugeSplit = func(*hypervisor.VMProcess, mem.VPN) { d.stats.Splits++ }
+	return d
+}
+
+// Config returns the daemon's tuning parameters.
+func (d *Daemon) Config() Config { return d.cfg }
+
+// Register adds a VM's guest RAM to the scan list, aligned inward to whole
+// HugePages runs (a partial run can never collapse). madvised marks the
+// range as an explicit huge-page candidate for PolicyMadvise.
+func (d *Daemon) Register(vm *hypervisor.VMProcess, madvised bool) {
+	if d == nil {
+		return
+	}
+	base := vm.MemslotBase()
+	start := base + mem.VPN(mem.HugePages-1)
+	start = mem.HugeAlign(start)
+	end := mem.HugeAlign(base + mem.VPN(vm.GuestPages()))
+	if start >= end {
+		return // guest smaller than one aligned run
+	}
+	for _, r := range d.regions {
+		if r.vm == vm && r.start == start && r.end == end {
+			return
+		}
+	}
+	d.regions = append(d.regions, region{vm: vm, start: start, end: end, madvised: madvised})
+}
+
+// eligible reports whether the region may collapse under the policy.
+func (d *Daemon) eligible(r region) bool {
+	switch d.cfg.Policy {
+	case PolicyAlways:
+		return true
+	case PolicyMadvise:
+		return r.madvised
+	}
+	return false
+}
+
+// Start schedules the scan loop on the host clock; under PolicyNever it
+// does nothing. A nil Daemon is a no-op.
+func (d *Daemon) Start() {
+	if d == nil || d.running || d.cfg.Policy == PolicyNever {
+		return
+	}
+	d.running = true
+	d.host.Clock().Every(simclock.Time(d.cfg.SleepMillis)*simclock.Millisecond, func(now simclock.Time) bool {
+		if !d.running {
+			return false
+		}
+		d.ScanChunk(d.cfg.ScanPages)
+		return true
+	})
+}
+
+// Stop halts the scan loop after the current wake-up.
+func (d *Daemon) Stop() {
+	if d == nil {
+		return
+	}
+	d.running = false
+}
+
+// Stats returns a snapshot of daemon counters. Safe on a nil Daemon.
+func (d *Daemon) Stats() Stats {
+	if d == nil {
+		return Stats{}
+	}
+	return d.stats
+}
+
+// ScanChunk examines up to n base pages of eligible regions, advancing a
+// circular cursor run by run, and attempts to collapse each aligned run it
+// lands on — the khugepaged loop, driven here by the simulated clock.
+func (d *Daemon) ScanChunk(n int) {
+	if d == nil || !d.anyEligible() {
+		return
+	}
+	if d.regionIdx >= len(d.regions) {
+		d.regionIdx = 0
+		d.cursor = 0
+	}
+	for scanned := 0; scanned < n; {
+		for !d.eligible(d.regions[d.regionIdx]) {
+			d.advanceRegion()
+		}
+		reg := d.regions[d.regionIdx]
+		if d.cursor < reg.start {
+			d.cursor = reg.start
+		}
+		head := d.cursor
+		d.cursor += mem.HugePages
+		if d.cursor >= reg.end {
+			d.advanceRegion()
+		}
+		switch reg.vm.CollapseHuge(head, d.cfg.MaxPtesNone) {
+		case hypervisor.CollapseOK:
+			d.stats.Collapses++
+		case hypervisor.CollapseAlreadyHuge:
+			// Nothing to do; not a failure.
+		default:
+			d.stats.CollapseFailed++
+		}
+		scanned += mem.HugePages
+		d.stats.PagesScanned += mem.HugePages
+	}
+}
+
+// anyEligible reports whether the policy admits at least one region.
+func (d *Daemon) anyEligible() bool {
+	for _, r := range d.regions {
+		if d.eligible(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceRegion moves the cursor to the next region, counting a full scan
+// when it wraps.
+func (d *Daemon) advanceRegion() {
+	d.regionIdx++
+	d.cursor = 0
+	if d.regionIdx >= len(d.regions) {
+		d.regionIdx = 0
+		d.stats.FullScans++
+	}
+}
+
+// Instrument registers the daemon's telemetry gauges. Both a nil Daemon and
+// a nil registry are no-ops, matching the metrics API.
+func (d *Daemon) Instrument(r *metrics.Registry) {
+	if d == nil || r == nil {
+		return
+	}
+	r.Gauge("thp.pages_scanned", func() float64 { return float64(d.stats.PagesScanned) })
+	r.Gauge("thp.collapses", func() float64 { return float64(d.stats.Collapses) })
+	r.Gauge("thp.collapse_failed", func() float64 { return float64(d.stats.CollapseFailed) })
+	r.Gauge("thp.splits", func() float64 { return float64(d.stats.Splits) })
+	r.Gauge("thp.huge_frames", func() float64 { return float64(d.host.Phys().HugeFrames()) })
+	r.Gauge("thp.huge_coverage", func() float64 {
+		pm := d.host.Phys()
+		if pm.FramesInUse() == 0 {
+			return 0
+		}
+		return float64(pm.HugeFrames()) / float64(pm.FramesInUse())
+	})
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/thp"
 	"repro/internal/workload"
 )
 
@@ -53,6 +54,10 @@ type (
 	PowerFigure = core.PowerFigure
 	// VMPerf is one guest's modelled steady-state performance.
 	VMPerf = core.VMPerf
+	// THPFigure is the THP-policy × guest-count tradeoff sweep.
+	THPFigure = core.THPFigure
+	// THPRow is one cell of a THPFigure.
+	THPRow = core.THPRow
 )
 
 // Cluster scenario composition.
@@ -90,6 +95,8 @@ var (
 	Fig7 = core.Fig7
 	// Fig8 sweeps SPECjEnterprise 2010 over 5-8 guest VMs.
 	Fig8 = core.Fig8
+	// THPTradeoff sweeps huge-page policy against KSM sharing (extension).
+	THPTradeoff = core.THPTradeoff
 
 	// Table1 through Table4 render the paper's configuration tables.
 	Table1 = core.Table1
@@ -125,7 +132,23 @@ var (
 	RenderJavaFigure  = core.RenderJavaFigure
 	RenderSweepFigure = core.RenderSweepFigure
 	RenderPowerFigure = core.RenderPowerFigure
+	RenderTHPFigure   = core.RenderTHPFigure
 )
+
+// Transparent huge pages. THPPolicy selects the khugepaged collapse policy
+// on ClusterConfig.THPPolicy / Options.THPPolicy; the zero value (never)
+// keeps the subsystem off and every figure byte-identical to prior releases.
+type THPPolicy = thp.Policy
+
+// THP policy values and parsing (sysfs spellings: never|madvise|always).
+const (
+	THPNever   = thp.PolicyNever
+	THPMadvise = thp.PolicyMadvise
+	THPAlways  = thp.PolicyAlways
+)
+
+// ParseTHPPolicy converts a sysfs spelling into a THPPolicy.
+var ParseTHPPolicy = thp.ParsePolicy
 
 // Telemetry: time-series sampling of a running cluster. Enable with
 // ClusterConfig.EnableMetrics (or Options.Telemetry for the paper
