@@ -7,8 +7,10 @@
 //	tpsim [-scale N] [-seed S] [-quick] [-jobs N] <experiment> [...]
 //
 // Experiments: table1 table2 table3 table4 fig2 fig3a fig3b fig3c fig4
-// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff, or "all". fig2/fig3a share
-// one run, as do fig4/fig5a; requesting either id prints that part.
+// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff chaos, or "all" (which runs
+// everything except chaos). fig2/fig3a share one run, as do fig4/fig5a;
+// requesting either id prints that part. The -chaos flag appends the chaos
+// sweep; -chaos-seed fixes its fault schedule.
 //
 // Independent cluster runs (sweep points, error-bar repetitions, the
 // experiments of "all") fan out across -jobs workers. Results are collected
@@ -36,9 +38,15 @@ func main() {
 	metricsCSV := flag.Bool("metrics-csv", false, "append the sampled metrics series as CSV after each experiment")
 	thpFlag := flag.String("thp", "never", "transparent huge page policy: never|madvise|always")
 	thpKSMSplit := flag.Bool("thp-ksm-split", false, "let KSM split huge pages over verified duplicate content")
+	chaos := flag.Bool("chaos", false, "run the fault-injection chaos sweep (guest kills, demand spikes, KSM stalls)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "fault schedule seed for -chaos (fixed seed = byte-identical output)")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() == 0 {
+	ids := flag.Args()
+	if *chaos {
+		ids = append(ids, "chaos")
+	}
+	if len(ids) == 0 {
 		usage()
 		os.Exit(2)
 	}
@@ -55,11 +63,12 @@ func main() {
 		Progress:    printProgress,
 		THPPolicy:   thpPolicy,
 		THPKSMSplit: *thpKSMSplit,
+		ChaosSeed:   *chaosSeed,
 	}
 	asCSV = *csv
 	showTimeline = *timeline
 	showMetricsCSV = *metricsCSV
-	for _, id := range flag.Args() {
+	for _, id := range ids {
 		if err := run(id, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "tpsim: %v\n", err)
 			os.Exit(1)
@@ -71,7 +80,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `tpsim — rerun the ISPASS 2013 TPS-in-Java experiments
 
 usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] [-timeline] [-metrics-csv]
-             [-thp never|madvise|always] [-thp-ksm-split] <experiment>...
+             [-thp never|madvise|always] [-thp-ksm-split]
+             [-chaos] [-chaos-seed S] <experiment>...
 
 experiments:
   table1..table4   the paper's configuration tables
@@ -84,11 +94,14 @@ experiments:
   fig7             DayTrader throughput vs 1..9 guest VMs
   fig8             SPECjEnterprise score vs 5..8 guest VMs
   thp-tradeoff     THP policy sweep: huge-page coverage vs KSM sharing
+  chaos            fault-injection sweep: kills/restarts, demand spikes, stalls
   check            evaluate every paper claim on quick runs (self-test)
-  all              everything above
+  all              everything above except chaos
 
 -thp applies a huge-page policy to the paper experiments themselves
 (thp-tradeoff sweeps its own policies and ignores the flag).
+-chaos appends the chaos experiment to the requested list (it is not part
+of "all"); -chaos-seed drives its deterministic fault schedule.
 `)
 }
 
@@ -136,6 +149,13 @@ func thpText(f core.THPFigure) string {
 		return core.THPFigureTable(f).CSV()
 	}
 	return core.RenderTHPFigure(f) + "\n"
+}
+
+func chaosText(f core.ChaosFigure) string {
+	if asCSV {
+		return core.ChaosFigureTable(f).CSV()
+	}
+	return core.RenderChaosFigure(f) + "\n"
 }
 
 func powerText(f core.PowerFigure) string {
@@ -224,6 +244,8 @@ func renderFigure(id string, opts core.Options) (string, error) {
 		return sweepText(core.Fig8(opts)), nil
 	case "thp-tradeoff":
 		return thpText(core.THPTradeoff(opts)), nil
+	case "chaos":
+		return chaosText(core.Chaos(opts)), nil
 	case "check":
 		out, ok := core.RunClaims(opts)
 		if !ok {

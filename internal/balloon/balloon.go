@@ -55,7 +55,11 @@ func NewManager(host *hypervisor.Host, kernels []*guestos.Kernel, cfg Config) *M
 	if cfg.TargetFreeBytes < cfg.LowWatermarkBytes {
 		cfg.TargetFreeBytes = cfg.LowWatermarkBytes * 2
 	}
-	return &Manager{host: host, cfg: cfg, kernels: kernels, ballooned: make([]int, len(kernels))}
+	// Copy the guest list: the manager's membership changes independently of
+	// the caller's slice (DropGuest/AddGuest), so sharing a backing array
+	// would corrupt both.
+	ks := append([]*guestos.Kernel(nil), kernels...)
+	return &Manager{host: host, cfg: cfg, kernels: ks, ballooned: make([]int, len(ks))}
 }
 
 // Stats returns manager counters.
@@ -91,6 +95,54 @@ func (m *Manager) Balance() int {
 	}
 	m.stats.PagesReclaimed += total
 	return total
+}
+
+// ReclaimPages asks the guests for up to n pages right now, spread evenly,
+// regardless of watermarks — the targeted inflation a memory-demand spike
+// needs before the host falls back to swapping. It returns the pages
+// actually recovered (guests may have nothing cheap left to give).
+func (m *Manager) ReclaimPages(n int) int {
+	if n <= 0 || len(m.kernels) == 0 {
+		return 0
+	}
+	m.stats.Inflations++
+	perGuest := n/len(m.kernels) + 1
+	total := 0
+	for i, k := range m.kernels {
+		if total >= n {
+			break
+		}
+		want := perGuest
+		if want > n-total {
+			want = n - total
+		}
+		got := k.ReclaimPages(want)
+		m.ballooned[i] += got
+		total += got
+	}
+	m.stats.PagesReclaimed += total
+	return total
+}
+
+// DropGuest removes a dead guest from the manager. Its balloon ledger is
+// simply forgotten — the reclaimed pages died with the process, there is
+// nothing to give back — and the forgotten page count is returned.
+func (m *Manager) DropGuest(k *guestos.Kernel) int {
+	for i, kk := range m.kernels {
+		if kk == k {
+			n := m.ballooned[i]
+			m.kernels = append(m.kernels[:i], m.kernels[i+1:]...)
+			m.ballooned = append(m.ballooned[:i], m.ballooned[i+1:]...)
+			return n
+		}
+	}
+	return 0
+}
+
+// AddGuest starts managing a (re)booted guest with an empty balloon.
+func (m *Manager) AddGuest(k *guestos.Kernel) {
+	m.kernels = append(m.kernels, k)
+	m.ballooned = append(m.ballooned, 0)
 }
 
 // Deflate releases the balloons once host pressure has eased (free memory at

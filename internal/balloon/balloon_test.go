@@ -148,3 +148,68 @@ func TestDeflateRefusedUnderPressure(t *testing.T) {
 		t.Fatal("ledger changed by refused deflate")
 	}
 }
+
+func TestReclaimPagesIgnoresWatermarks(t *testing.T) {
+	h, ks := build(t, 1024, 128, 32)
+	m := NewManager(h, ks, Config{LowWatermarkBytes: 4 * pg, TargetFreeBytes: 8 * pg})
+	free := h.FreeBytes()
+	got := m.ReclaimPages(20)
+	if got == 0 {
+		t.Fatal("targeted reclaim recovered nothing despite cached file pages")
+	}
+	if got > 20 {
+		t.Fatalf("reclaimed %d pages, asked for 20", got)
+	}
+	if h.FreeBytes() <= free {
+		t.Fatal("host free memory did not grow")
+	}
+	if m.BalloonedPages() != got {
+		t.Fatalf("ledger %d != reclaimed %d", m.BalloonedPages(), got)
+	}
+	if m.ReclaimPages(0) != 0 {
+		t.Fatal("zero-page request reclaimed something")
+	}
+}
+
+func TestDropGuestForgetsLedger(t *testing.T) {
+	h, ks := build(t, 1024, 128, 32)
+	m := NewManager(h, ks, Config{})
+	got := m.ReclaimPages(40)
+	if got == 0 {
+		t.Fatal("no reclamation to set the ledger up")
+	}
+	dropped := m.DropGuest(ks[0])
+	if dropped == 0 {
+		t.Fatal("dropped guest's ledger was empty")
+	}
+	if m.BalloonedPages() != got-dropped {
+		t.Fatalf("ledger %d after drop, want %d", m.BalloonedPages(), got-dropped)
+	}
+	if m.DropGuest(ks[0]) != 0 {
+		t.Fatal("double drop found a ledger")
+	}
+	// A rebooted guest comes back with an empty balloon and is reclaimable.
+	m.AddGuest(ks[0])
+	if m.BalloonedPages() != got-dropped {
+		t.Fatal("AddGuest changed the ledger")
+	}
+	if m.ReclaimPages(10) == 0 {
+		t.Fatal("re-added guest not reclaimable")
+	}
+}
+
+func TestManagerCopiesKernelList(t *testing.T) {
+	// The caller's slice may be mutated in place (guest kills compact it);
+	// the manager must hold its own copy or its index-parallel ledger skews.
+	h, ks := build(t, 1024, 128, 32)
+	m := NewManager(h, ks, Config{})
+	if m.ReclaimPages(40) == 0 {
+		t.Fatal("no reclamation to set the ledger up")
+	}
+	victim := ks[0]
+	ks = append(ks[:0], ks[1:]...) // caller compacts its own list
+	_ = ks
+	if m.DropGuest(victim) == 0 {
+		t.Fatal("manager lost track of the dropped guest after caller mutation")
+	}
+}

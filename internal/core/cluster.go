@@ -194,6 +194,22 @@ type Cluster struct {
 
 	images      map[string]*cds.Image
 	warmupEnded simclock.Time
+
+	// guests tracks per-slot lifecycle state for the chaos experiments. With
+	// fault injection unused the slots are write-only bookkeeping and the
+	// cluster behaves exactly as before.
+	guests []*guestSlot
+}
+
+// guestSlot is one guest position in the cluster: the workload it runs and,
+// while alive, the VM process, kernel and worker instances backing it.
+type guestSlot struct {
+	spec    workload.Spec
+	gen     int // restart generation (0 = original boot)
+	alive   bool
+	vm      *hypervisor.VMProcess
+	kernel  *guestos.Kernel
+	workers []*workload.Instance
 }
 
 // BuildCluster assembles the host, guests and workloads but does not run
@@ -264,14 +280,33 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 
 // addGuest boots one guest from the base image and deploys its workload.
 func (c *Cluster) addGuest(i int, spec workload.Spec) {
+	slot := &guestSlot{spec: spec}
+	c.guests = append(c.guests, slot)
+	c.bootGuest(i, slot)
+}
+
+// bootGuest (re)boots a guest slot: a fresh VM process, guest kernel and
+// worker set. Generation 0 is the original provisioning path; restarts
+// derive a fresh layout seed from the generation, exactly as a rebooted
+// machine re-randomizes.
+func (c *Cluster) bootGuest(i int, slot *guestSlot) {
 	cfg := c.Cfg
+	spec := slot.spec
 	vmSeed := mem.Combine(cfg.BaseSeed, mem.HashString("vm"), mem.Seed(i+1))
-	vmp := c.Host.NewVM(hypervisor.VMConfig{
-		Name:          fmt.Sprintf("VM %d", i+1),
-		GuestMemBytes: spec.GuestMemBytes / int64(cfg.Scale),
-		OverheadBytes: (24 << 20) / int64(cfg.Scale),
-		Seed:          vmSeed,
-	})
+	if slot.gen > 0 {
+		vmSeed = mem.Combine(vmSeed, mem.HashString("restart"), mem.Seed(slot.gen))
+	}
+	var vmp *hypervisor.VMProcess
+	if slot.gen > 0 {
+		vmp = c.Host.RestartVM(slot.vm, vmSeed)
+	} else {
+		vmp = c.Host.NewVM(hypervisor.VMConfig{
+			Name:          fmt.Sprintf("VM %d", i+1),
+			GuestMemBytes: spec.GuestMemBytes / int64(cfg.Scale),
+			OverheadBytes: (24 << 20) / int64(cfg.Scale),
+			Seed:          vmSeed,
+		})
+	}
 	k := guestos.Boot(vmp, guestos.KernelConfig{
 		Version:   GuestKernelVersion,
 		TextBytes: cfg.GuestKernel.TextBytes / int64(cfg.Scale),
@@ -299,9 +334,93 @@ func (c *Cluster) addGuest(i int, spec workload.Spec) {
 		dcfg.PerVMNIOSalt = mem.Combine(vmSeed, mem.HashString("nio-salt"))
 	}
 	c.Kernels = append(c.Kernels, k)
+	slot.vm = vmp
+	slot.kernel = k
+	slot.workers = slot.workers[:0]
+	slot.alive = true
 	for n := 0; n < cfg.JVMsPerGuest; n++ {
-		c.Workers = append(c.Workers, workload.Deploy(k, c.Corpus, spec, dcfg))
+		w := workload.Deploy(k, c.Corpus, spec, dcfg)
+		c.Workers = append(c.Workers, w)
+		slot.workers = append(slot.workers, w)
 	}
+}
+
+// GuestSlots reports the number of guest positions (alive or dead).
+func (c *Cluster) GuestSlots() int { return len(c.guests) }
+
+// GuestAlive reports whether slot i's guest is currently running.
+func (c *Cluster) GuestAlive(i int) bool { return c.guests[i].alive }
+
+// GuestVM returns slot i's VM process (the dead one after a kill, until the
+// slot restarts).
+func (c *Cluster) GuestVM(i int) *hypervisor.VMProcess { return c.guests[i].vm }
+
+// KillGuest tears down slot i's guest end to end: the scanner and THP daemon
+// drop its regions, the hypervisor reclaims every frame and swap slot, and
+// the kernel and workers leave the cluster's index-parallel lists (keeping
+// Kernels aligned with Host.VMs for the analyzer). It returns the killed
+// guest's kernel so callers can detach it elsewhere (balloon managers), or
+// nil if the slot was already dead.
+func (c *Cluster) KillGuest(i int) *guestos.Kernel {
+	slot := c.guests[i]
+	if !slot.alive {
+		return nil
+	}
+	c.Scanner.Unregister(slot.vm)
+	c.THP.Unregister(slot.vm)
+	c.Host.KillVM(slot.vm)
+	for ki, k := range c.Kernels {
+		if k == slot.kernel {
+			c.Kernels = append(c.Kernels[:ki], c.Kernels[ki+1:]...)
+			break
+		}
+	}
+	kept := c.Workers[:0]
+	for _, w := range c.Workers {
+		dead := false
+		for _, sw := range slot.workers {
+			if w == sw {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			kept = append(kept, w)
+		}
+	}
+	c.Workers = kept
+	killed := slot.kernel
+	slot.alive = false
+	slot.kernel = nil
+	slot.workers = nil
+	c.Trace.Emit(trace.KindDeploy, fmt.Sprintf("VM %d", i+1), "killed; host free %d MB",
+		c.Host.FreeBytes()>>20)
+	return killed
+}
+
+// RestartGuest reboots a killed slot: a fresh VM process with a fresh layout
+// seed, a cold guest kernel, and newly deployed workers, registered with the
+// scanner and THP daemon like any provisioned guest. It returns the new
+// kernel, or nil if the slot is still alive.
+func (c *Cluster) RestartGuest(i int) *guestos.Kernel {
+	slot := c.guests[i]
+	if slot.alive {
+		return nil
+	}
+	slot.gen++
+	c.bootGuest(i, slot)
+	c.Scanner.Register(slot.vm)
+	c.THP.Register(slot.vm, true)
+	c.Trace.Emit(trace.KindDeploy, fmt.Sprintf("VM %d", i+1),
+		"restarted (gen %d); host free %d MB", slot.gen, c.Host.FreeBytes()>>20)
+	return slot.kernel
+}
+
+// CheckLeaks runs the hypervisor's leak invariant with the scanner's stable
+// tree accounted as external references. Nil means every frame refcount and
+// swap slot is exactly explained by live state.
+func (c *Cluster) CheckLeaks() error {
+	return c.Host.CheckLeaks(c.Scanner.StableFrames())
 }
 
 // cacheImage returns the cold-run cache for a workload, built once per

@@ -66,6 +66,24 @@ func THPFigureTable(f THPFigure) *report.Table {
 	return t
 }
 
+// ChaosFigureTable flattens the chaos sweep result.
+func ChaosFigureTable(f ChaosFigure) *report.Table {
+	t := &report.Table{
+		Title: f.ID,
+		Headers: []string{"guests", "profile", "kills", "kills_skipped", "restarts", "spikes",
+			"oom_kills", "stalls", "balloon_pages", "claimed_pages", "leak_checks",
+			"leak_failures", "final_alive", "ksm_saving_mb", "major_faults", "swap_outs"},
+	}
+	for _, r := range f.Rows {
+		t.AddRow(r.Guests, r.Profile, fmt.Sprint(r.Kills), fmt.Sprint(r.KillsSkipped),
+			fmt.Sprint(r.Restarts), fmt.Sprint(r.Spikes), fmt.Sprint(r.OOMKills),
+			fmt.Sprint(r.Stalls), fmt.Sprint(r.BalloonPages), fmt.Sprint(r.ClaimedPages),
+			r.LeakChecks, r.LeakFailures, r.FinalAlive, r.SharingMB,
+			fmt.Sprint(r.MajorFaults), fmt.Sprint(r.SwapOuts))
+	}
+	return t
+}
+
 // PowerFigureTable flattens the Fig. 6 result.
 func PowerFigureTable(f PowerFigure) *report.Table {
 	t := &report.Table{

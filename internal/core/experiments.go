@@ -42,6 +42,10 @@ type Options struct {
 	// THPKSMSplit lets KSM split huge mappings over verified duplicate
 	// content (tpsim -thp-ksm-split).
 	THPKSMSplit bool
+	// ChaosSeed derives the chaos experiment's fault schedule
+	// (tpsim -chaos-seed). Fixed seed ⇒ byte-identical sweep output at any
+	// Jobs width. Only the chaos experiment reads it.
+	ChaosSeed uint64
 }
 
 func (o Options) scale() int {

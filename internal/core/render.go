@@ -127,6 +127,42 @@ func RenderTHPFigure(f THPFigure) string {
 	return b.String()
 }
 
+// RenderChaosFigure prints the chaos sweep: one row per fault profile ×
+// guest count, with the fault history, the leak-invariant record, and the
+// sharing that survived the churn.
+func RenderChaosFigure(f ChaosFigure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", strings.ToUpper(f.ID), f.Title)
+	t := &report.Table{Headers: []string{
+		"Guests", "Profile", "Kills", "Skipped", "Restarts", "Spikes", "OOM kills",
+		"Stalls", "Balloon pg", "Claimed pg", "Leak checks", "Leak fails",
+		"Alive", "KSM saving MB", "Major faults", "Swap-outs",
+	}}
+	for _, r := range f.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Guests),
+			r.Profile,
+			fmt.Sprintf("%d", r.Kills),
+			fmt.Sprintf("%d", r.KillsSkipped),
+			fmt.Sprintf("%d", r.Restarts),
+			fmt.Sprintf("%d", r.Spikes),
+			fmt.Sprintf("%d", r.OOMKills),
+			fmt.Sprintf("%d", r.Stalls),
+			fmt.Sprintf("%d", r.BalloonPages),
+			fmt.Sprintf("%d", r.ClaimedPages),
+			fmt.Sprintf("%d", r.LeakChecks),
+			fmt.Sprintf("%d", r.LeakFailures),
+			fmt.Sprintf("%d", r.FinalAlive),
+			fmt.Sprintf("%.1f", r.SharingMB),
+			fmt.Sprintf("%d", r.MajorFaults),
+			fmt.Sprintf("%d", r.SwapOuts),
+		)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nEvery kill/restart runs the leak invariant; a non-zero 'Leak fails' column is a bug.\n")
+	return b.String()
+}
+
 // RenderPowerFigure prints the Fig. 6 result.
 func RenderPowerFigure(f PowerFigure) string {
 	var b strings.Builder

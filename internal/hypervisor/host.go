@@ -46,6 +46,19 @@ type Host struct {
 
 	vms  []*VMProcess
 	swap *swapStore
+	// nextVMSlot numbers VM processes monotonically; slots are never reused
+	// even after a kill, so ids and memslot bases stay unique for the host's
+	// lifetime.
+	nextVMSlot int
+
+	// kernelFrames are the frames pinned at boot for the host kernel; the
+	// leak checker needs to know who owns them.
+	kernelFrames []mem.FrameID
+
+	// claimed is the host's demand ledger: frames taken from the pool for
+	// host-side needs (fault injection's memory-demand spikes) and not mapped
+	// by any VM. They pin until ReleaseClaimed.
+	claimed []mem.FrameID
 
 	// evictQueue approximates LRU: mappings enter at the tail when they are
 	// first mapped or swapped back in, and eviction pops from the head with
@@ -74,6 +87,8 @@ type HostStats struct {
 	MinorFaults uint64 // first-touch demand mappings
 	Collapses   uint64 // huge-page collapses (khugepaged successes)
 	HugeSplits  uint64 // huge mappings split back to base pages
+	Kills       uint64 // VM processes torn down by KillVM
+	Restarts    uint64 // VM processes rebooted by RestartVM
 }
 
 // mapping identifies one PTE in one VM process, for the eviction queue.
@@ -111,6 +126,7 @@ func (h *Host) reserveKernel(bytes int64) {
 			panic("hypervisor: host kernel reserve exceeds RAM")
 		}
 		h.phys.FillFrame(id, mem.Combine(seed, mem.Seed(i)))
+		h.kernelFrames = append(h.kernelFrames, id)
 	}
 }
 
@@ -133,8 +149,13 @@ func (h *Host) VMs() []*VMProcess { return h.vms }
 // Stats returns a snapshot of host counters.
 func (h *Host) Stats() HostStats { return h.stats }
 
-// SwapUsedBytes reports the current swap occupancy.
+// SwapUsedBytes reports the current swap disk occupancy. Zero-page slots
+// occupy a slot but no disk bytes (see swapStore.usedBytes).
 func (h *Host) SwapUsedBytes() int64 { return h.swap.usedBytes() }
+
+// SwapUsedSlots reports how many swap slots are occupied, zero-page slots
+// included.
+func (h *Host) SwapUsedSlots() int { return h.swap.usedSlots() }
 
 // FreeBytes reports unallocated physical memory.
 func (h *Host) FreeBytes() int64 {

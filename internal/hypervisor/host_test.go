@@ -135,9 +135,13 @@ func TestSwapZeroPagesCheap(t *testing.T) {
 	for i := uint64(0); i < 20; i++ {
 		vm.TouchGuestPage(i, true) // zero pages
 	}
-	// Swap store holds zero pages as nil; occupancy is still accounted.
-	if h.SwapUsedBytes() == 0 {
-		t.Fatal("expected swap occupancy")
+	// Swap store holds zero pages as nil slots: they occupy slot numbers but
+	// cost no backing bytes (zswap-style same-filled accounting).
+	if h.SwapUsedSlots() == 0 {
+		t.Fatal("expected swap slot occupancy")
+	}
+	if h.SwapUsedBytes() != 0 {
+		t.Fatalf("all-zero swap slots should charge no bytes, got %d", h.SwapUsedBytes())
 	}
 	b := vm.ReadGuestPage(0)
 	for _, c := range b {

@@ -1,0 +1,257 @@
+package hypervisor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestKillVMFreesResidentAndSwapped(t *testing.T) {
+	// 8 RAM frames, guest touches 16 pages: part resident, part swapped.
+	h := newHost(t, 8)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 32 * pg, Seed: 1})
+	for i := uint64(0); i < 16; i++ {
+		vm.FillGuestPage(i, mem.Seed(100+i))
+	}
+	if h.SwapUsedSlots() == 0 {
+		t.Fatal("scenario did not push pages into swap")
+	}
+	h.KillVM(vm)
+	if vm.Alive() {
+		t.Fatal("VM still alive after KillVM")
+	}
+	if got := h.Phys().FramesInUse(); got != 0 {
+		t.Fatalf("%d frames leaked by kill", got)
+	}
+	if got := h.SwapUsedSlots(); got != 0 {
+		t.Fatalf("%d swap slots leaked by kill", got)
+	}
+	if len(h.VMs()) != 0 {
+		t.Fatal("dead VM still listed on the host")
+	}
+	if err := h.CheckLeaks(nil); err != nil {
+		t.Fatalf("leak check after kill: %v", err)
+	}
+	if h.Stats().Kills != 1 {
+		t.Fatalf("Kills = %d, want 1", h.Stats().Kills)
+	}
+}
+
+func TestKillVMFreesZeroSwapSlots(t *testing.T) {
+	h := newHost(t, 8)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 32 * pg, Seed: 1})
+	for i := uint64(0); i < 20; i++ {
+		vm.TouchGuestPage(i, true) // demand-zero pages, some end up swapped
+	}
+	if h.SwapUsedSlots() == 0 {
+		t.Fatal("scenario did not push zero pages into swap")
+	}
+	h.KillVM(vm)
+	if got := h.SwapUsedSlots(); got != 0 {
+		t.Fatalf("%d zero swap slots leaked by kill", got)
+	}
+	if err := h.CheckLeaks(nil); err != nil {
+		t.Fatalf("leak check after kill: %v", err)
+	}
+}
+
+func TestKillVMDropsSharedFrameReference(t *testing.T) {
+	h := newHost(t, 64)
+	vm1 := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 8 * pg, Seed: 1})
+	vm2 := h.NewVM(VMConfig{Name: "vm2", GuestMemBytes: 8 * pg, Seed: 2})
+	vm1.FillGuestPage(0, 7)
+	vm2.FillGuestPage(0, 7)
+
+	// Merge as KSM would: vm2's page 0 remaps to vm1's frame.
+	vpn1 := vm1.GPFNToHostVPN(0)
+	f1, _ := vm1.ResolveResident(vpn1)
+	h.Phys().SetKSM(f1, true)
+	vm1.WriteProtect(vpn1)
+	h.Phys().IncRef(f1)
+	vm2.RemapShared(vm2.GPFNToHostVPN(0), f1)
+
+	// Killing the sharer drops one reference; the frame survives for vm1.
+	h.KillVM(vm2)
+	if got := h.Phys().RefCount(f1); got != 1 {
+		t.Fatalf("shared frame refcount after sharer kill = %d, want 1", got)
+	}
+	if err := h.CheckLeaks(nil); err != nil {
+		t.Fatalf("leak check after sharer kill: %v", err)
+	}
+	b := vm1.ReadGuestPage(0)
+	want := mem.FillBytes(pg, 7)
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("surviving VM's shared page corrupted at byte %d", i)
+		}
+	}
+	// Killing the last mapper frees the frame entirely.
+	h.KillVM(vm1)
+	if got := h.Phys().FramesInUse(); got != 0 {
+		t.Fatalf("%d frames leaked after both kills", got)
+	}
+	if err := h.CheckLeaks(nil); err != nil {
+		t.Fatalf("leak check after both kills: %v", err)
+	}
+}
+
+func TestKillVMDissolvesHugeMapping(t *testing.T) {
+	h := newHost(t, 4*mem.HugePages)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: int64(mem.HugePages) * pg, Seed: 1})
+	for i := uint64(0); i < uint64(mem.HugePages); i++ {
+		vm.FillGuestPage(i, mem.Seed(i))
+	}
+	if out := vm.CollapseHuge(vm.GPFNToHostVPN(0), 0); out != CollapseOK {
+		t.Fatalf("collapse failed: %v", out)
+	}
+	if vm.HugeMappings() != 1 {
+		t.Fatal("no huge mapping to tear down")
+	}
+	h.KillVM(vm)
+	if got := h.Phys().FramesInUse(); got != 0 {
+		t.Fatalf("%d frames leaked by huge-mapping kill", got)
+	}
+	if err := h.CheckLeaks(nil); err != nil {
+		t.Fatalf("leak check after huge kill: %v", err)
+	}
+	// The block dissolved without a split event: exit frees it as a unit.
+	if h.Stats().HugeSplits != 0 {
+		t.Fatalf("kill counted %d huge splits", h.Stats().HugeSplits)
+	}
+}
+
+func TestRestartVMBootsFreshProcess(t *testing.T) {
+	h := newHost(t, 64)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 8 * pg, Seed: 1})
+	vm.FillGuestPage(0, 7)
+	oldID, oldBase := vm.ID(), vm.MemslotBase()
+	h.KillVM(vm)
+	nvm := h.RestartVM(vm, 99)
+	if !nvm.Alive() || nvm.Seed() != 99 {
+		t.Fatalf("restart produced %v (seed %d)", nvm.Alive(), nvm.Seed())
+	}
+	if nvm.ID() == oldID || nvm.MemslotBase() == oldBase {
+		t.Fatal("restarted VM reuses the dead process's id or memslot")
+	}
+	nvm.FillGuestPage(0, 8)
+	if err := h.CheckLeaks(nil); err != nil {
+		t.Fatalf("leak check after restart: %v", err)
+	}
+	if h.Stats().Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", h.Stats().Restarts)
+	}
+}
+
+func TestKillAndRestartPanics(t *testing.T) {
+	h := newHost(t, 64)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 8 * pg, Seed: 1})
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("RestartVM on a live VM", func() { h.RestartVM(vm, 2) })
+	h.KillVM(vm)
+	mustPanic("KillVM twice", func() { h.KillVM(vm) })
+	mustPanic("memory access on a dead VM", func() { vm.TouchGuestPage(0, true) })
+}
+
+func TestClaimFramesDegradesThroughEviction(t *testing.T) {
+	h := newHost(t, 8)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 32 * pg, Seed: 1})
+	for i := uint64(0); i < 6; i++ {
+		vm.FillGuestPage(i, mem.Seed(10+i))
+	}
+	// Demand far exceeds RAM: the claim sweeps the free pool, then evicts the
+	// guest's cold pages, then hits the wall.
+	got := h.ClaimFrames(1000)
+	if got != 8 {
+		t.Fatalf("claimed %d of 8 claimable frames", got)
+	}
+	if h.ClaimedFrames() != got {
+		t.Fatalf("ledger %d != claimed %d", h.ClaimedFrames(), got)
+	}
+	if h.Stats().SwapOuts == 0 {
+		t.Fatal("claim under pressure did not evict")
+	}
+	if err := h.CheckLeaks(nil); err != nil {
+		t.Fatalf("leak check while claimed: %v", err)
+	}
+	if n := h.ReleaseClaimed(); n != got {
+		t.Fatalf("released %d, want %d", n, got)
+	}
+	if h.ClaimedFrames() != 0 || h.Phys().FramesInUse() != 0 {
+		t.Fatal("release left the ledger or pool dirty")
+	}
+	// The evicted guest pages survive in swap and fault back intact.
+	b := vm.ReadGuestPage(0)
+	want := mem.FillBytes(pg, 10)
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("page content corrupted by claim/release at byte %d", i)
+		}
+	}
+	if err := h.CheckLeaks(nil); err != nil {
+		t.Fatalf("leak check after release: %v", err)
+	}
+}
+
+func TestVictimLargestPicksBiggestFootprint(t *testing.T) {
+	h := newHost(t, 256)
+	small := h.NewVM(VMConfig{Name: "small", GuestMemBytes: 32 * pg, Seed: 1})
+	big := h.NewVM(VMConfig{Name: "big", GuestMemBytes: 32 * pg, Seed: 2})
+	for i := uint64(0); i < 2; i++ {
+		small.FillGuestPage(i, mem.Seed(i))
+	}
+	for i := uint64(0); i < 12; i++ {
+		big.FillGuestPage(i, mem.Seed(i))
+	}
+	if v := VictimLargest(h.VMs()); v != big {
+		t.Fatalf("victim = %s, want big", v.Name())
+	}
+	if v := VictimLargest(nil); v != nil {
+		t.Fatal("victim on empty host should be nil")
+	}
+}
+
+func TestCheckLeaksDetectsOrphans(t *testing.T) {
+	h := newHost(t, 64)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 8 * pg, Seed: 1})
+	vm.FillGuestPage(0, 7)
+	if err := h.CheckLeaks(nil); err != nil {
+		t.Fatalf("clean state reported dirty: %v", err)
+	}
+	// Manufacture a leak: an extra reference no page table explains.
+	f, _ := vm.ResolveResident(vm.GPFNToHostVPN(0))
+	h.Phys().IncRef(f)
+	err := h.CheckLeaks(nil)
+	if err == nil {
+		t.Fatal("orphaned refcount not detected")
+	}
+	if !strings.Contains(err.Error(), "refcount") {
+		t.Fatalf("unhelpful leak report: %v", err)
+	}
+	h.Phys().DecRef(f)
+	if err := h.CheckLeaks(nil); err != nil {
+		t.Fatalf("state still dirty after repair: %v", err)
+	}
+}
+
+func TestSwapDataPagesChargeBytes(t *testing.T) {
+	h := newHost(t, 8)
+	vm := h.NewVM(VMConfig{Name: "vm1", GuestMemBytes: 32 * pg, Seed: 1})
+	for i := uint64(0); i < 16; i++ {
+		vm.FillGuestPage(i, mem.Seed(100+i)) // non-zero content only
+	}
+	slots := h.SwapUsedSlots()
+	if slots == 0 {
+		t.Fatal("expected swap occupancy")
+	}
+	if got, want := h.SwapUsedBytes(), int64(slots)*pg; got != want {
+		t.Fatalf("data slots charged %d bytes, want %d (%d slots)", got, want, slots)
+	}
+}

@@ -1,6 +1,10 @@
 package hypervisor
 
-import "repro/internal/mem"
+import (
+	"sort"
+
+	"repro/internal/mem"
+)
 
 // swapStore holds the contents of evicted pages. Zero pages are stored as
 // nil slices so an idle over-committed guest costs almost no simulator
@@ -9,8 +13,12 @@ type swapStore struct {
 	pageSize int
 	maxPages int // 0 = unbounded
 	slots    map[uint32][]byte
-	next     uint32
-	freed    []uint32
+	// zeroSlots counts occupied slots holding a zero page (nil data). They
+	// consume a slot but no disk bytes, and usedBytes must not charge them
+	// at full page size.
+	zeroSlots int
+	next      uint32
+	freed     []uint32
 }
 
 func newSwapStore(maxBytes int64, pageSize int) *swapStore {
@@ -41,6 +49,7 @@ func (s *swapStore) out(pm *mem.PhysMem, f mem.FrameID) (uint32, bool) {
 	}
 	if pm.IsZero(f) {
 		s.slots[slot] = nil
+		s.zeroSlots++
 	} else {
 		buf := make([]byte, s.pageSize)
 		copy(buf, pm.Bytes(f))
@@ -57,6 +66,8 @@ func (s *swapStore) in(pm *mem.PhysMem, slot uint32, f mem.FrameID) {
 	}
 	if buf != nil {
 		pm.Write(f, 0, buf)
+	} else {
+		s.zeroSlots--
 	}
 	delete(s.slots, slot)
 	s.freed = append(s.freed, slot)
@@ -65,13 +76,34 @@ func (s *swapStore) in(pm *mem.PhysMem, slot uint32, f mem.FrameID) {
 // drop releases a slot without restoring it (the mapping was unmapped while
 // swapped out).
 func (s *swapStore) drop(slot uint32) {
-	if _, ok := s.slots[slot]; !ok {
+	buf, ok := s.slots[slot]
+	if !ok {
 		panic("hypervisor: drop of free swap slot")
+	}
+	if buf == nil {
+		s.zeroSlots--
 	}
 	delete(s.slots, slot)
 	s.freed = append(s.freed, slot)
 }
 
+// usedBytes reports the swap disk occupancy. Zero-page slots cost no disk
+// bytes (they are reconstructed on swap-in, the zswap same-filled
+// optimization), so only non-nil slots are charged.
 func (s *swapStore) usedBytes() int64 {
-	return int64(len(s.slots)) * int64(s.pageSize)
+	return int64(len(s.slots)-s.zeroSlots) * int64(s.pageSize)
+}
+
+// usedSlots reports how many slots are occupied, zero-page slots included.
+func (s *swapStore) usedSlots() int { return len(s.slots) }
+
+// liveSlots returns the occupied slot numbers in ascending order, for the
+// leak checker's census against swapped PTEs.
+func (s *swapStore) liveSlots() []uint32 {
+	out := make([]uint32, 0, len(s.slots))
+	for slot := range s.slots {
+		out = append(out, slot)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -46,6 +46,10 @@ type VMProcess struct {
 	overheadStart mem.VPN
 	overheadPages int
 
+	// dead marks a process torn down by KillVM. A dead VM owns no frames or
+	// swap slots; touching its memory is a bug and panics.
+	dead bool
+
 	stats VMStats
 }
 
@@ -60,12 +64,17 @@ func (h *Host) NewVM(cfg VMConfig) *VMProcess {
 	if cfg.GuestMemBytes < int64(h.cfg.PageSize) {
 		panic(fmt.Sprintf("hypervisor: guest memory %d smaller than a page", cfg.GuestMemBytes))
 	}
+	// The slot counter is monotonic, never reused: a restarted VM gets a
+	// fresh id and memslot base, so stale references to the dead process can
+	// never alias the new one. With no kills this numbering is identical to
+	// the historical len(h.vms)+1.
+	h.nextVMSlot++
 	vm := &VMProcess{
 		host:        h,
-		id:          len(h.vms) + 1,
+		id:          h.nextVMSlot,
 		cfg:         cfg,
 		guestPages:  int(cfg.GuestMemBytes / int64(h.cfg.PageSize)),
-		memslotBase: mem.VPN(uint64(len(h.vms)+1) * memslotSpacing),
+		memslotBase: mem.VPN(uint64(h.nextVMSlot) * memslotSpacing),
 		hpt:         mem.NewPageTable(),
 	}
 	vm.overheadStart = vm.memslotBase + mem.VPN(vm.guestPages) + 256
@@ -89,8 +98,13 @@ func (vm *VMProcess) populateOverhead() {
 	}
 }
 
-// ID reports the VM's 1-based index on its host.
+// ID reports the VM's 1-based slot number on its host. Slots are never
+// reused, so a restarted VM has a fresh ID.
 func (vm *VMProcess) ID() int { return vm.id }
+
+// Alive reports whether the VM process is still running (false after
+// Host.KillVM).
+func (vm *VMProcess) Alive() bool { return !vm.dead }
 
 // Name reports the VM's label.
 func (vm *VMProcess) Name() string { return vm.cfg.Name }
@@ -153,6 +167,9 @@ func (vm *VMProcess) MergeableRegions() []MergeableRegion {
 // ensureMapped resolves a host-virtual page to a frame, demand-paging or
 // swapping in as needed. With forWrite set, COW mappings are broken.
 func (vm *VMProcess) ensureMapped(vpn mem.VPN, forWrite bool) mem.FrameID {
+	if vm.dead {
+		panic(fmt.Sprintf("hypervisor: memory access on killed %s", vm.cfg.Name))
+	}
 	pte, ok := vm.hpt.Lookup(vpn)
 	switch {
 	case !ok:

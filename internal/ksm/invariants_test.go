@@ -101,3 +101,73 @@ func TestSavedBytesNeverNegative(t *testing.T) {
 		t.Fatalf("sharing %d < shared %d", s.PagesSharing, s.PagesShared)
 	}
 }
+
+// recountStats rebuilds PagesShared/PagesSharing/SavedBytes from first
+// principles: walk every VM page table, count mappings of KSM-flagged frames,
+// and derive the totals — no scanner state consulted beyond the stable list.
+func (f *fixture) recountStats() (shared, sharing int, saved int64) {
+	pm := f.host.Phys()
+	mappers := map[mem.FrameID]int{}
+	for _, vm := range f.host.VMs() {
+		vm.HostPageTable().Range(func(_ mem.VPN, pte mem.PTE) bool {
+			if !pte.Swapped && !pte.Huge && pm.IsKSM(pte.Frame) {
+				mappers[pte.Frame]++
+			}
+			return true
+		})
+	}
+	for _, fr := range f.k.StableFrames() {
+		if n := mappers[fr]; n > 0 {
+			shared++
+			sharing += n
+		}
+	}
+	saved = int64(sharing-shared) * pg
+	return shared, sharing, saved
+}
+
+func TestStatsMatchBruteForceRecount(t *testing.T) {
+	// Stats() derives the sysfs totals from stable-tree refcounts; this
+	// cross-checks them against a full page-table recount after merge churn,
+	// COW breaks, guest kills and scanner unregisters.
+	f := newFixture(t, 2048, 4, 48, DefaultConfig())
+	rng := mem.Seed(11)
+	check := func(stage string) {
+		t.Helper()
+		st := f.k.Stats()
+		shared, sharing, saved := f.recountStats()
+		if st.PagesShared != shared || st.PagesSharing != sharing || st.SavedBytes != saved {
+			t.Fatalf("%s: Stats (shared %d sharing %d saved %d) != recount (shared %d sharing %d saved %d)",
+				stage, st.PagesShared, st.PagesSharing, st.SavedBytes, shared, sharing, saved)
+		}
+	}
+	for round := 0; round < 6; round++ {
+		for vi, vm := range f.vms {
+			for p := 0; p < 16; p++ {
+				rng = mem.Mix(rng)
+				gpfn := uint64(rng) % 48
+				switch uint64(rng) % 4 {
+				case 0, 1:
+					vm.FillGuestPage(gpfn, mem.Seed(500+gpfn%8))
+				case 2:
+					vm.FillGuestPage(gpfn, mem.Combine(mem.Seed(vi), rng))
+				case 3:
+					vm.WriteGuestPage(gpfn, int(uint64(rng)%4000), []byte{byte(rng)})
+				}
+			}
+		}
+		f.scanPasses(1)
+		check("churn")
+	}
+	// Kill one guest mid-flight: its mappings drop, the recount and the
+	// refcount-derived totals must agree immediately and after the prune.
+	f.k.Unregister(f.vms[3])
+	f.host.KillVM(f.vms[3])
+	f.vms = f.vms[:3]
+	check("after kill")
+	f.scanPasses(2)
+	check("after prune")
+	if err := f.host.CheckLeaks(f.k.StableFrames()); err != nil {
+		t.Fatalf("leak check: %v", err)
+	}
+}

@@ -92,6 +92,7 @@ type Stats struct {
 	NotResident    uint64
 	COWBreaks      uint64
 	StalePruned    uint64
+	Stalls         uint64 // injected daemon stalls (fault injection)
 	HashRejects    uint64 // hash matched but bytes differed (verification)
 	HugeSkips      uint64 // candidates skipped because a huge mapping covers them
 	HugeSplits     uint64 // huge mappings split by KSM to recover sharing
@@ -122,7 +123,10 @@ type KSM struct {
 	host *hypervisor.Host
 	cfg  Config
 
-	regions   []hypervisor.MergeableRegion
+	regions []hypervisor.MergeableRegion
+	// regSet mirrors regions for O(1) duplicate detection in Register
+	// (regions itself stays a slice: scan order is part of determinism).
+	regSet    map[hypervisor.MergeableRegion]struct{}
 	regionIdx int
 	cursor    mem.VPN
 
@@ -135,7 +139,14 @@ type KSM struct {
 
 	running bool
 	started simclock.Time
-	stats   Stats
+	// everStarted distinguishes "started at clock epoch" from "never
+	// started": Stats must not report wall time for a scanner that never ran.
+	everStarted bool
+	// stalledUntil makes wake-ups no-ops until the given time (fault
+	// injection: ksmd descheduled by a hostile co-runner). Wall time keeps
+	// accruing, so a stall shows up as a duty-cycle dip, not a gap.
+	stalledUntil simclock.Time
+	stats        Stats
 	// passStart snapshots the counters at the start of the current pass, so
 	// telemetry can expose per-pass activity alongside the cumulative run.
 	passStart Stats
@@ -154,6 +165,7 @@ func New(host *hypervisor.Host, cfg Config) *KSM {
 	k := &KSM{
 		host:      host,
 		cfg:       cfg,
+		regSet:    make(map[hypervisor.MergeableRegion]struct{}),
 		stable:    newStableTreap(host.Phys()),
 		unstable:  make(map[uint64][]unstableEntry),
 		checksums: make(map[pageKey]uint64),
@@ -179,20 +191,64 @@ func (k *KSM) SetPagesToScan(n int) {
 // double-scan a VM.
 func (k *KSM) Register(vm *hypervisor.VMProcess) {
 	for _, reg := range vm.MergeableRegions() {
-		if !k.registered(reg) {
-			k.regions = append(k.regions, reg)
+		if _, dup := k.regSet[reg]; dup {
+			continue
 		}
+		k.regSet[reg] = struct{}{}
+		k.regions = append(k.regions, reg)
 	}
 }
 
-// registered reports whether an identical region is already on the scan list.
-func (k *KSM) registered(reg hypervisor.MergeableRegion) bool {
-	for _, r := range k.regions {
-		if r == reg {
-			return true
+// Unregister drops a VM's regions from the scan list — what Linux does when
+// a process with madvised VMAs exits — and purges the VM's volatility-gate
+// and unstable-index entries so no stale pointers to the dead process
+// survive. The pass cursor is repaired in place: removing a region before
+// the current one shifts the index down, removing the current one restarts
+// at the region that slides into its slot, and a wrap past the shrunken list
+// does NOT count as a completed pass (no endPass side effects fire). Stable
+// pages the VM mapped are left to refcounting: KillVM drops the mappings and
+// the end-of-pass prune collects nodes nobody maps anymore.
+func (k *KSM) Unregister(vm *hypervisor.VMProcess) {
+	kept := k.regions[:0]
+	newIdx := k.regionIdx
+	for i, reg := range k.regions {
+		if reg.VM == vm {
+			delete(k.regSet, reg)
+			if i < k.regionIdx {
+				newIdx--
+			} else if i == k.regionIdx {
+				k.cursor = 0
+			}
+			continue
+		}
+		kept = append(kept, reg)
+	}
+	k.regions = kept
+	k.regionIdx = newIdx
+	if k.regionIdx >= len(k.regions) {
+		k.regionIdx = 0
+		k.cursor = 0
+	}
+	for key := range k.checksums {
+		if key.vm == vm {
+			delete(k.checksums, key)
 		}
 	}
-	return false
+	for sum, bucket := range k.unstable {
+		keptEnts := bucket[:0]
+		for _, ent := range bucket {
+			if ent.key.vm == vm {
+				k.unstableN--
+				continue
+			}
+			keptEnts = append(keptEnts, ent)
+		}
+		if len(keptEnts) == 0 {
+			delete(k.unstable, sum)
+		} else {
+			k.unstable[sum] = keptEnts
+		}
+	}
 }
 
 // RegisterAll registers every VM currently on the host.
@@ -210,13 +266,26 @@ func (k *KSM) Start() {
 	}
 	k.running = true
 	k.started = k.host.Clock().Now()
+	k.everStarted = true
 	k.host.Clock().Every(simclock.Time(k.cfg.SleepMillis)*simclock.Millisecond, func(now simclock.Time) bool {
 		if !k.running {
 			return false
 		}
+		if now < k.stalledUntil {
+			return true
+		}
 		k.ScanChunk(k.cfg.PagesToScan)
 		return true
 	})
+}
+
+// Stall suspends scanning for d of virtual time: wake-ups fire but do no
+// work until the deadline passes. Overlapping stalls extend, not stack.
+func (k *KSM) Stall(d simclock.Time) {
+	if until := k.host.Clock().Now() + d; until > k.stalledUntil {
+		k.stalledUntil = until
+	}
+	k.stats.Stalls++
 }
 
 // Stop halts the scan loop after the current wake-up.
@@ -238,7 +307,11 @@ func (k *KSM) Stats() Stats {
 		s.PagesSharing += mappers
 	})
 	s.SavedBytes = int64(s.PagesSharing-s.PagesShared) * int64(k.host.PageSize())
-	s.CPUWall = k.host.Clock().Now() - k.started
+	// A scanner that never started has no wall time; without this guard
+	// CPUPercent would report a bogus duty cycle measured from clock epoch.
+	if k.everStarted {
+		s.CPUWall = k.host.Clock().Now() - k.started
+	}
 	return s
 }
 

@@ -270,6 +270,19 @@ func (pm *PhysMem) RefCount(id FrameID) int {
 	return int(pm.frameAt(id).refcnt)
 }
 
+// LiveRefCount reports a frame's reference count, or 0 for a free frame.
+// Unlike RefCount it never panics, so the leak checker can sweep the whole
+// pool comparing actual counts against expectations.
+func (pm *PhysMem) LiveRefCount(id FrameID) int {
+	if int(id) >= len(pm.frames) {
+		panic(fmt.Sprintf("mem: frame %d out of range", id))
+	}
+	if n := pm.frames[id].refcnt; n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
 // DecRef drops a reference; the frame returns to the free list when the
 // count reaches zero. Huge-block frames cannot be freed individually — the
 // owner must SplitHugeBlock first.

@@ -171,6 +171,36 @@ func (d *Daemon) Register(vm *hypervisor.VMProcess, madvised bool) {
 	d.regions = append(d.regions, region{vm: vm, start: start, end: end, madvised: madvised})
 }
 
+// Unregister drops a VM's ranges from the scan list (the process exited).
+// The circular cursor is repaired the same way as KSM's: removals before the
+// current region shift the index down, removing the current region restarts
+// at whichever region slides into its slot, and a wrap past the shrunken
+// list does not count a full scan. A nil Daemon is a no-op.
+func (d *Daemon) Unregister(vm *hypervisor.VMProcess) {
+	if d == nil {
+		return
+	}
+	kept := d.regions[:0]
+	newIdx := d.regionIdx
+	for i, r := range d.regions {
+		if r.vm == vm {
+			if i < d.regionIdx {
+				newIdx--
+			} else if i == d.regionIdx {
+				d.cursor = 0
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	d.regions = kept
+	d.regionIdx = newIdx
+	if d.regionIdx >= len(d.regions) {
+		d.regionIdx = 0
+		d.cursor = 0
+	}
+}
+
 // eligible reports whether the region may collapse under the policy.
 func (d *Daemon) eligible(r region) bool {
 	switch d.cfg.Policy {

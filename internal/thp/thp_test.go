@@ -156,3 +156,40 @@ func TestSplitsElsewhereCounted(t *testing.T) {
 		t.Fatalf("splits %d after release-driven split", d.Stats().Splits)
 	}
 }
+
+func TestUnregisterDropsVMFromScan(t *testing.T) {
+	clock, h := newHost(t, 16)
+	vm1 := denseVM(t, h, 1)
+	vm2 := h.NewVM(hypervisor.VMConfig{Name: "vm2", GuestMemBytes: int64(hp) * pg, Seed: 2})
+	for i := uint64(0); i < hp; i++ {
+		vm2.FillGuestPage(i, mem.Seed(2000+i))
+	}
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyAlways
+	d := New(h, cfg)
+	d.Register(vm1, false)
+	d.Register(vm2, false)
+	d.Start()
+
+	// Drop vm2 mid-flight (as a guest kill does) and let the daemon run: it
+	// must keep collapsing vm1 and never touch the dead process.
+	d.Unregister(vm2)
+	h.KillVM(vm2)
+	clock.RunFor(2 * simclock.Second)
+	if vm1.HugeMappings() != 1 {
+		t.Fatalf("survivor not collapsed: %d huge mappings", vm1.HugeMappings())
+	}
+	if d.Stats().FullScans == 0 {
+		t.Fatal("cursor never completed a pass after unregister")
+	}
+
+	// Unregistering the last region mid-pass leaves an empty, sane daemon.
+	d.Unregister(vm1)
+	scanned := d.Stats().PagesScanned
+	clock.RunFor(simclock.Second)
+	if d.Stats().PagesScanned != scanned {
+		t.Fatal("daemon scanned with no registered regions")
+	}
+	d.Unregister(vm1)              // double unregister is a no-op
+	(*Daemon)(nil).Unregister(vm1) // nil-safe like the rest of the API
+}
