@@ -31,7 +31,10 @@ type Dump struct {
 	PageSize int
 	// FrameChecksums holds the content checksum of every referenced frame;
 	// the analyzer does not need full bytes, only attribution structure,
-	// but checksums let consumers verify dump integrity.
+	// but checksums let consumers verify dump integrity. Capturing them is
+	// cheap: mem's content store computes each distinct content's checksum
+	// at most once, so a snapshot never re-hashes page bytes that any scan
+	// or earlier dump already hashed.
 	FrameChecksums map[uint32]uint64
 	Guests         []GuestDump
 }

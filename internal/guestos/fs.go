@@ -60,6 +60,24 @@ func (f *File) FillPage(dst []byte, idx int) {
 	}
 }
 
+// PageSeed reports the fill seed that produces page idx in full, when the
+// page is exactly one deterministic Fill stream: generator-backed, inside
+// the file, and not the zero-padded final partial page. Callers with a
+// seeded fill path (FillGuestPage and friends) can then install the page
+// without materializing bytes; the seed matches FillPage's, so content is
+// byte-identical either way. Data-backed and partial pages return false and
+// must go through FillPage.
+func (f *File) PageSeed(idx, pageSize int) (mem.Seed, bool) {
+	if f.Data != nil {
+		return 0, false
+	}
+	start := int64(idx) * int64(pageSize)
+	if start >= f.SizeBytes || f.SizeBytes-start < int64(pageSize) {
+		return 0, false
+	}
+	return mem.Combine(f.ContentSeed, mem.Seed(idx)), true
+}
+
 // FS is the guest's file system view: a flat path-to-file map, which is all
 // the simulation needs (no directories, permissions, or mutation beyond
 // whole-file installs).

@@ -210,9 +210,16 @@ func (k *Kernel) pageCacheGet(f *File, idx int) uint64 {
 		return pfn
 	}
 	pfn := k.allocPFN(ownerPageCache)
-	buf := make([]byte, k.pageSize)
-	f.FillPage(buf, idx)
-	k.vm.WriteGuestPage(pfn, 0, buf)
+	if seed, ok := f.PageSeed(idx, k.pageSize); ok {
+		// Full generator pages install as a seed, not bytes: the backing
+		// frame stays unmaterialized until something actually reads it, and
+		// identical file pages across guests share one interned buffer.
+		k.vm.FillGuestPage(pfn, seed)
+	} else {
+		buf := make([]byte, k.pageSize)
+		f.FillPage(buf, idx)
+		k.vm.WriteGuestPage(pfn, 0, buf)
+	}
 	k.pageCache[key] = pfn
 	k.cacheFIFO = append(k.cacheFIFO, key)
 	k.stats.PageCacheFills++

@@ -25,7 +25,7 @@ func (h *Host) KillVM(vm *VMProcess) {
 		}
 		switch {
 		case pte.Swapped:
-			h.swap.drop(pte.SwapSlot)
+			h.swap.drop(h.phys, pte.SwapSlot)
 		case pte.Huge:
 			// Exit frees a huge page as a unit — no split event, no
 			// re-queueing of base pages; the block just dissolves back into

@@ -6,16 +6,24 @@ import (
 	"repro/internal/mem"
 )
 
-// swapStore holds the contents of evicted pages. Zero pages are stored as
-// nil slices so an idle over-committed guest costs almost no simulator
-// memory, mirroring how little disk traffic it causes in reality.
+// swapStore holds the contents of evicted pages as mem.PageContent handles
+// rather than byte copies: swapping a page out aliases its content blob, so
+// slots holding identical pages share one buffer and swapping costs no
+// 4 KiB copy. Zero pages canonicalize to the zero handle so an idle
+// over-committed guest costs almost no simulator memory, mirroring how
+// little disk traffic it causes in reality.
+//
+// The *simulated* disk accounting is unchanged by the handle
+// representation: every non-zero slot is charged a full page of swap bytes
+// regardless of how the simulator stores it, exactly as before the
+// content-store refactor (only the Go heap is deduplicated).
 type swapStore struct {
 	pageSize int
 	maxPages int // 0 = unbounded
-	slots    map[uint32][]byte
-	// zeroSlots counts occupied slots holding a zero page (nil data). They
-	// consume a slot but no disk bytes, and usedBytes must not charge them
-	// at full page size.
+	slots    map[uint32]mem.PageContent
+	// zeroSlots counts occupied slots holding the zero page. They consume a
+	// slot but no disk bytes, and usedBytes must not charge them at full
+	// page size.
 	zeroSlots int
 	next      uint32
 	freed     []uint32
@@ -29,12 +37,12 @@ func newSwapStore(maxBytes int64, pageSize int) *swapStore {
 	return &swapStore{
 		pageSize: pageSize,
 		maxPages: maxPages,
-		slots:    make(map[uint32][]byte),
+		slots:    make(map[uint32]mem.PageContent),
 	}
 }
 
-// out copies frame contents into a fresh swap slot, reporting false when the
-// store is full.
+// out snapshots frame contents into a fresh swap slot, reporting false when
+// the store is full.
 func (s *swapStore) out(pm *mem.PhysMem, f mem.FrameID) (uint32, bool) {
 	if s.maxPages > 0 && len(s.slots) >= s.maxPages {
 		return 0, false
@@ -47,49 +55,47 @@ func (s *swapStore) out(pm *mem.PhysMem, f mem.FrameID) (uint32, bool) {
 		slot = s.next
 		s.next++
 	}
-	if pm.IsZero(f) {
-		s.slots[slot] = nil
+	c := pm.Snapshot(f)
+	if c.IsZero() {
 		s.zeroSlots++
-	} else {
-		buf := make([]byte, s.pageSize)
-		copy(buf, pm.Bytes(f))
-		s.slots[slot] = buf
 	}
+	s.slots[slot] = c
 	return slot, true
 }
 
 // in restores a swap slot's contents into frame f and releases the slot.
 func (s *swapStore) in(pm *mem.PhysMem, slot uint32, f mem.FrameID) {
-	buf, ok := s.slots[slot]
+	c, ok := s.slots[slot]
 	if !ok {
 		panic("hypervisor: swap-in from free slot")
 	}
-	if buf != nil {
-		pm.Write(f, 0, buf)
-	} else {
+	if c.IsZero() {
 		s.zeroSlots--
 	}
+	pm.Restore(f, c)
 	delete(s.slots, slot)
 	s.freed = append(s.freed, slot)
 }
 
 // drop releases a slot without restoring it (the mapping was unmapped while
 // swapped out).
-func (s *swapStore) drop(slot uint32) {
-	buf, ok := s.slots[slot]
+func (s *swapStore) drop(pm *mem.PhysMem, slot uint32) {
+	c, ok := s.slots[slot]
 	if !ok {
 		panic("hypervisor: drop of free swap slot")
 	}
-	if buf == nil {
+	if c.IsZero() {
 		s.zeroSlots--
 	}
+	pm.Release(c)
 	delete(s.slots, slot)
 	s.freed = append(s.freed, slot)
 }
 
 // usedBytes reports the swap disk occupancy. Zero-page slots cost no disk
 // bytes (they are reconstructed on swap-in, the zswap same-filled
-// optimization), so only non-nil slots are charged.
+// optimization), so only non-zero slots are charged — and every non-zero
+// slot is charged a full page even when slots share a content blob.
 func (s *swapStore) usedBytes() int64 {
 	return int64(len(s.slots)-s.zeroSlots) * int64(s.pageSize)
 }

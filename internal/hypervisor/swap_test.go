@@ -44,6 +44,135 @@ func TestSwapSlotsRecycled(t *testing.T) {
 	}
 }
 
+// TestSwapByteAccountingAcrossCycle pins the simulated swap-byte totals for
+// every content flavour across a full swap-out/swap-in cycle: the handle
+// refactor dedupes the simulator's Go heap, but the modelled disk must
+// charge exactly what the byte-copying store charged — full page size per
+// non-zero slot, nothing for zero slots (lazy or materialized all-zero
+// alike, the PR-4 zero-slot rule).
+func TestSwapByteAccountingAcrossCycle(t *testing.T) {
+	pm := mem.NewPhysMem(16*pg, pg)
+	s := newSwapStore(0, pg)
+
+	alloc := func() mem.FrameID {
+		id, err := pm.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	lazyZero := alloc()
+	seeded := alloc()
+	written := alloc()
+	zeroedBack := alloc()
+	pm.FillFrame(seeded, mem.Seed(7))
+	pm.Write(written, 0, []byte{1, 2, 3})
+	pm.Write(zeroedBack, 0, []byte{9, 9, 9})
+	pm.Write(zeroedBack, 0, []byte{0, 0, 0}) // materialized, content all zero again
+
+	frames := []mem.FrameID{lazyZero, seeded, written, zeroedBack}
+	want := make([][]byte, len(frames))
+	for i, f := range frames {
+		want[i] = append([]byte(nil), pm.Bytes(f)...)
+	}
+
+	slots := make([]uint32, len(frames))
+	for i, f := range frames {
+		slot, ok := s.out(pm, f)
+		if !ok {
+			t.Fatalf("swap store refused frame %d", f)
+		}
+		slots[i] = slot
+		pm.DecRef(f)
+	}
+	// Two of the four pages are zero content: only the seeded and written
+	// pages may be charged, at full page size each.
+	if got := s.usedBytes(); got != 2*pg {
+		t.Fatalf("swapped out: usedBytes %d, want %d", got, 2*pg)
+	}
+	if got := s.usedSlots(); got != 4 {
+		t.Fatalf("swapped out: usedSlots %d, want 4", got)
+	}
+
+	for i, slot := range slots {
+		f := alloc()
+		s.in(pm, slot, f)
+		if !bytesEqual(pm.Bytes(f), want[i]) {
+			t.Fatalf("slot %d: content corrupted across swap cycle", slot)
+		}
+		frames[i] = f
+	}
+	if s.usedBytes() != 0 || s.usedSlots() != 0 {
+		t.Fatalf("swapped in: store not drained (%d bytes, %d slots)",
+			s.usedBytes(), s.usedSlots())
+	}
+
+	// Second cycle through recycled slots charges identically.
+	for i, f := range frames {
+		slots[i], _ = s.out(pm, f)
+		pm.DecRef(f)
+	}
+	if got := s.usedBytes(); got != 2*pg {
+		t.Fatalf("second cycle: usedBytes %d, want %d", got, 2*pg)
+	}
+	for _, slot := range slots {
+		s.drop(pm, slot)
+	}
+	if s.usedBytes() != 0 || s.usedSlots() != 0 {
+		t.Fatal("dropped slots not drained")
+	}
+	if cs := pm.ContentStats(); cs.Blobs != 0 {
+		t.Fatalf("content store leaked %d blobs after drain", cs.Blobs)
+	}
+}
+
+// TestSwapSlotsShareIdenticalContent checks the side effect the handle
+// store buys for free: slots holding byte-identical pages alias one content
+// blob in the simulator while still charging full disk bytes each.
+func TestSwapSlotsShareIdenticalContent(t *testing.T) {
+	pm := mem.NewPhysMem(16*pg, pg)
+	s := newSwapStore(0, pg)
+	payload := []byte{4, 2}
+	var frames []mem.FrameID
+	for i := 0; i < 3; i++ {
+		f, err := pm.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm.Write(f, 0, payload)
+		frames = append(frames, f)
+	}
+	// Three independently written pages hold three private buffers; swap-out
+	// interns them onto one shared blob.
+	if got := pm.ContentStats().Blobs; got != 3 {
+		t.Fatalf("before swap: %d blobs, want 3 private buffers", got)
+	}
+	for _, f := range frames {
+		if _, ok := s.out(pm, f); !ok {
+			t.Fatal("swap store refused")
+		}
+		pm.DecRef(f)
+	}
+	if got := pm.ContentStats().Blobs; got != 1 {
+		t.Fatalf("after swap: %d blobs, want the 3 slots sharing 1", got)
+	}
+	if got := s.usedBytes(); got != 3*pg {
+		t.Fatalf("usedBytes %d: dedup must not discount simulated disk (want %d)", got, 3*pg)
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestReleaseWhileSwappedDropsSlot(t *testing.T) {
 	h := NewHost(Config{Name: "t", RAMBytes: 8 * pg}, simclock.New())
 	vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: 64 * pg, Seed: 1})

@@ -278,7 +278,7 @@ func (vm *VMProcess) ReleaseGuestPage(gpfn uint64) {
 		return
 	}
 	if pte.Swapped {
-		vm.host.swap.drop(pte.SwapSlot)
+		vm.host.swap.drop(vm.host.phys, pte.SwapSlot)
 		vm.stats.SwappedPages--
 		return
 	}

@@ -18,6 +18,13 @@
 //
 // The unstable index is cleared at the end of every full pass, as in Linux.
 //
+// Cost model: all content operations go through mem's content-addressed
+// store, so the per-page work above is cheap in the common case —
+// pm.Checksum is a cache lookup (computed once per distinct content, not
+// per frame per pass), the stable tree's Compare short-circuits to 0 on
+// matching content descriptors, and pm.Equal verifies bytes only when two
+// distinct descriptors' checksums collide.
+//
 // Deviation from Linux noted in DESIGN.md: Linux keeps the unstable
 // candidates in a red-black tree whose keys may drift (the tree is tolerated
 // to be inconsistent and rebuilt each pass); we keep them in a

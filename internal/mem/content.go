@@ -109,3 +109,43 @@ func ChecksumBytes(b []byte) uint64 {
 	}
 	return h
 }
+
+// ChecksumSeed computes ChecksumBytes(FillBytes(n, seed)) without
+// materializing the buffer: the generator words are folded straight into
+// the hash. The content store checksums seeded (never-read) pages this way,
+// so the volatility gate costs no page-sized memory traffic for them.
+func ChecksumSeed(seed Seed, n int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	s := uint64(Mix(seed))
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	h := uint64(offset64)
+	i := 0
+	for i+8 <= n {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		v := s * 0x2545f4914f6cdd1d
+		for k := 0; k < 8; k++ {
+			h ^= v >> (8 * k) & 0xff
+			h *= prime64
+		}
+		i += 8
+	}
+	if i < n {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		v := s * 0x2545f4914f6cdd1d
+		for ; i < n; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}

@@ -27,11 +27,13 @@ const NilFrame FrameID = ^FrameID(0)
 // hypervisor turns this condition into swapping.
 var ErrOutOfMemory = errors.New("mem: out of physical memory")
 
-// frame is a single physical page. A nil data slice means the page is
-// all-zero; the backing bytes are materialized lazily on first write, so an
-// untouched guest costs almost nothing.
+// frame is a single physical page. Content lives behind the desc content
+// descriptor (see store.go): the zero-value desc is the all-zero page, a
+// seeded desc materializes lazily on first read, and literal descs share
+// refcounted blobs, so an untouched guest costs almost nothing and
+// duplicate content is stored once.
 type frame struct {
-	data   []byte
+	desc   desc
 	refcnt int32
 	ksm    bool // frame is a KSM stable-tree page (write-protected, shared)
 	// huge marks a frame inside an allocated huge block: one huge PTE maps
@@ -42,11 +44,6 @@ type frame struct {
 	// claims free frames without removing their stack entries, so Alloc
 	// validates entries lazily against this flag.
 	inFree bool
-	// sum caches the FNV-1a checksum of data; invalidated on every write.
-	// KSM's volatility gate checksums every scanned page each pass, and the
-	// cache makes re-scanning untouched pages O(1).
-	sum      uint64
-	sumValid bool
 }
 
 // PhysMem is a pool of physical page frames with reference counting.
@@ -72,6 +69,12 @@ type PhysMem struct {
 	zero    []byte // canonical zero page for comparisons
 	zeroSum uint64 // checksum of the zero page, precomputed per pool
 
+	// cs is the pool's content store: interned literal blobs keyed by
+	// checksum plus the per-seed checksum cache. scratch is a single page
+	// buffer reused to generate seeded content for checksumming/interning.
+	cs      *contentStore
+	scratch []byte
+
 	// Statistics.
 	allocs       uint64
 	frees        uint64
@@ -79,7 +82,7 @@ type PhysMem struct {
 	// Gauges maintained at state transitions so telemetry sampling never
 	// has to walk the frame array.
 	ksmFrames  int // frames flagged as KSM stable pages
-	zeroFrames int // in-use frames still backed by the lazy zero page
+	zeroFrames int // in-use frames whose descriptor is the lazy zero page
 }
 
 // NewPhysMem creates a pool holding totalBytes of physical memory divided
@@ -98,6 +101,7 @@ func NewPhysMem(totalBytes int64, pageSize int) *PhysMem {
 		frames:   make([]frame, n),
 		free:     make([]FrameID, 0, n),
 		zero:     make([]byte, pageSize),
+		cs:       newContentStore(),
 	}
 	// Precomputed here rather than cached in a package-level map: pools in
 	// concurrently running clusters checksum zero frames without sharing any
@@ -185,11 +189,10 @@ func (pm *PhysMem) Alloc() (FrameID, error) {
 	}
 	pm.noteTaken(id)
 	f := &pm.frames[id]
-	f.data = nil
+	f.desc = desc{} // free frames always carry a released zero descriptor
 	f.refcnt = 1
 	f.ksm = false
 	f.huge = false
-	f.sumValid = false
 	pm.inUse++
 	pm.allocs++
 	pm.zeroFrames++
@@ -212,11 +215,10 @@ func (pm *PhysMem) AllocHugeBlock() (FrameID, error) {
 			id := base + FrameID(i)
 			pm.noteTaken(id)
 			f := &pm.frames[id]
-			f.data = nil
+			f.desc = desc{}
 			f.refcnt = 1
 			f.ksm = false
 			f.huge = true
-			f.sumValid = false
 		}
 		pm.inUse += HugePages
 		pm.allocs += HugePages
@@ -293,13 +295,14 @@ func (pm *PhysMem) DecRef(id FrameID) {
 	}
 	f.refcnt--
 	if f.refcnt == 0 {
-		if f.data == nil {
+		if f.desc.kind == descZero {
 			pm.zeroFrames--
 		}
 		if f.ksm {
 			pm.ksmFrames--
 		}
-		f.data = nil
+		pm.cs.release(f.desc)
+		f.desc = desc{}
 		f.ksm = false
 		pm.free = append(pm.free, id)
 		pm.noteFreed(id)
@@ -327,33 +330,99 @@ func (pm *PhysMem) SetKSM(id FrameID, v bool) {
 func (pm *PhysMem) IsKSM(id FrameID) bool { return pm.frameAt(id).ksm }
 
 // Bytes returns a read-only view of the frame contents. All-zero frames
-// return the canonical zero page; callers must not mutate the result.
+// return the canonical zero page; seeded frames materialize into an
+// interned blob shared by every frame with the same content. Callers must
+// not mutate the result.
 func (pm *PhysMem) Bytes(id FrameID) []byte {
-	f := pm.frameAt(id)
-	if f.data == nil {
-		return pm.zero
-	}
-	return f.data
+	return pm.bytesOf(pm.frameAt(id))
 }
 
-// IsZero reports whether the frame content is all zero bytes. Lazily
-// materialized frames answer without scanning.
-func (pm *PhysMem) IsZero(id FrameID) bool {
-	f := pm.frameAt(id)
-	if f.data == nil {
-		return true
+func (pm *PhysMem) bytesOf(f *frame) []byte {
+	switch f.desc.kind {
+	case descZero:
+		return pm.zero
+	case descSeeded:
+		f.desc = desc{kind: descLiteral, blob: pm.internSeeded(f.desc.seed)}
+		return f.desc.blob.data
+	default:
+		return f.desc.blob.data
 	}
-	for _, b := range f.data {
-		if b != 0 {
+}
+
+// fillScratch regenerates seed's page into the pool's scratch buffer.
+func (pm *PhysMem) fillScratch(seed Seed) []byte {
+	if pm.scratch == nil {
+		pm.scratch = make([]byte, pm.pageSize)
+	}
+	Fill(pm.scratch, seed)
+	return pm.scratch
+}
+
+// seedSum returns the checksum of seed's page, computed at most once per
+// pool per seed, streamed straight from the generator without touching a
+// page buffer.
+func (pm *PhysMem) seedSum(seed Seed) uint64 {
+	if v, ok := pm.cs.seedSums[seed]; ok {
+		return v
+	}
+	v := ChecksumSeed(seed, pm.pageSize)
+	pm.cs.seedSums[seed] = v
+	return v
+}
+
+// internSeeded materializes seed's page as an interned blob; frames sharing
+// a fill seed converge on one buffer, and every materialization after the
+// first is a seed-index hit that never regenerates or compares bytes.
+func (pm *PhysMem) internSeeded(seed Seed) *blob {
+	cs := pm.cs
+	if b, ok := cs.seedBlobs[seed]; ok {
+		b.refs++
+		cs.internHits++
+		return b
+	}
+	sum := pm.seedSum(seed)
+	before := cs.blobs
+	b := cs.intern(pm.fillScratch(seed), sum)
+	if cs.blobs != before {
+		pm.materialized++
+	}
+	if !b.seeded {
+		b.seeded = true
+		b.seed = seed
+		cs.seedBlobs[seed] = b
+	}
+	return b
+}
+
+// IsZero reports whether the frame content is all zero bytes. Zero
+// descriptors answer immediately; otherwise the cached content checksum is
+// compared against the pool's zero-page checksum first, so a byte scan only
+// happens when the checksum is dirty or actually collides with zeroSum.
+func (pm *PhysMem) IsZero(id FrameID) bool {
+	return pm.isZeroFrame(pm.frameAt(id))
+}
+
+func (pm *PhysMem) isZeroFrame(f *frame) bool {
+	switch f.desc.kind {
+	case descZero:
+		return true
+	case descSeeded:
+		return pm.seedSum(f.desc.seed) == pm.zeroSum && bytes.Equal(pm.bytesOf(f), pm.zero)
+	default:
+		b := f.desc.blob
+		if b.sumValid && b.sum != pm.zeroSum {
 			return false
 		}
+		return bytes.Equal(b.data, pm.zero)
 	}
-	return true
 }
 
-// Write copies data into the frame at the given offset, materializing the
-// backing bytes if needed. Writing to a KSM stable page is a bug in the
-// caller (the hypervisor must break COW first) and panics.
+// Write copies data into the frame at the given offset, privatizing the
+// backing content if it is shared: a zero or seeded descriptor materializes
+// into a fresh private blob, a shared or interned blob is copied before
+// mutation (copy-on-write), and a frame holding the sole reference to a
+// private blob mutates in place. Writing to a KSM stable page is a bug in
+// the caller (the hypervisor must break COW first) and panics.
 func (pm *PhysMem) Write(id FrameID, off int, data []byte) {
 	f := pm.frameAt(id)
 	if f.ksm {
@@ -362,7 +431,11 @@ func (pm *PhysMem) Write(id FrameID, off int, data []byte) {
 	if off < 0 || off+len(data) > pm.pageSize {
 		panic(fmt.Sprintf("mem: write [%d,%d) outside page of %d bytes", off, off+len(data), pm.pageSize))
 	}
-	if f.data == nil {
+	if len(data) == 0 {
+		return
+	}
+	switch f.desc.kind {
+	case descZero:
 		allZero := true
 		for _, b := range data {
 			if b != 0 {
@@ -373,44 +446,66 @@ func (pm *PhysMem) Write(id FrameID, off int, data []byte) {
 		if allZero {
 			return // zero write to a zero page is a no-op
 		}
-		f.data = make([]byte, pm.pageSize)
+		buf := make([]byte, pm.pageSize)
+		copy(buf[off:], data)
+		f.desc = desc{kind: descLiteral, blob: pm.cs.newBlob(buf, false)}
 		pm.materialized++
 		pm.zeroFrames--
+	case descSeeded:
+		buf := make([]byte, pm.pageSize)
+		Fill(buf, f.desc.seed)
+		copy(buf[off:], data)
+		f.desc = desc{kind: descLiteral, blob: pm.cs.newBlob(buf, false)}
+		pm.materialized++
+	default:
+		b := f.desc.blob
+		if b.refs == 1 && !b.interned {
+			copy(b.data[off:], data)
+			b.sumValid = false
+			return
+		}
+		buf := make([]byte, pm.pageSize)
+		copy(buf, b.data)
+		copy(buf[off:], data)
+		pm.cs.release(f.desc)
+		f.desc = desc{kind: descLiteral, blob: pm.cs.newBlob(buf, false)}
+		pm.cs.cowCopies++
+		pm.materialized++
 	}
-	copy(f.data[off:], data)
-	f.sumValid = false
 }
 
 // FillFrame overwrites the whole frame with a deterministic byte stream.
+// The frame just records the seed; bytes exist only if something later
+// reads or partially overwrites them.
 func (pm *PhysMem) FillFrame(id FrameID, seed Seed) {
 	f := pm.frameAt(id)
 	if f.ksm {
 		panic(fmt.Sprintf("mem: direct fill of KSM stable frame %d", id))
 	}
-	if f.data == nil {
-		f.data = make([]byte, pm.pageSize)
-		pm.materialized++
+	if f.desc.kind == descZero {
 		pm.zeroFrames--
 	}
-	Fill(f.data, seed)
-	f.sumValid = false
+	pm.cs.release(f.desc)
+	f.desc = desc{kind: descSeeded, seed: seed}
 }
 
 // ZeroFrame resets the frame to the canonical zero page (dropping the
-// backing bytes). GC uses this when it sweeps free regions.
+// backing content). GC uses this when it sweeps free regions.
 func (pm *PhysMem) ZeroFrame(id FrameID) {
 	f := pm.frameAt(id)
 	if f.ksm {
 		panic(fmt.Sprintf("mem: direct zero of KSM stable frame %d", id))
 	}
-	if f.data != nil {
+	if f.desc.kind != descZero {
 		pm.zeroFrames++
 	}
-	f.data = nil
-	f.sumValid = false
+	pm.cs.release(f.desc)
+	f.desc = desc{}
 }
 
-// CopyFrame copies src's content into dst (used by COW breaks and swap-in).
+// CopyFrame gives dst the same content as src (used by COW breaks, huge
+// collapse, and lifecycle paths). It aliases src's descriptor — no bytes
+// move; a later Write through either frame privatizes its copy.
 func (pm *PhysMem) CopyFrame(dst, src FrameID) {
 	if dst == src {
 		return
@@ -420,62 +515,88 @@ func (pm *PhysMem) CopyFrame(dst, src FrameID) {
 	if df.ksm {
 		panic(fmt.Sprintf("mem: copy into KSM stable frame %d", dst))
 	}
-	df.sumValid = false
-	if sf.data == nil {
-		if df.data != nil {
-			pm.zeroFrames++
-		}
-		df.data = nil
-		return
-	}
-	if df.data == nil {
-		df.data = make([]byte, pm.pageSize)
-		pm.materialized++
+	nd := pm.cs.retain(sf.desc)
+	wasZero := df.desc.kind == descZero
+	pm.cs.release(df.desc)
+	df.desc = nd
+	if nowZero := nd.kind == descZero; wasZero && !nowZero {
 		pm.zeroFrames--
+	} else if !wasZero && nowZero {
+		pm.zeroFrames++
 	}
-	copy(df.data, sf.data)
 }
 
-// Equal reports whether two frames have byte-identical contents.
+// descsEqualFast decides equality from descriptors alone when possible:
+// same kind with same identity (both zero, same seed, same blob) is equal;
+// anything else is unknown (ok=false) and needs the checksum/byte path.
+func descsEqualFast(x, y desc) (eq, ok bool) {
+	if x.kind != y.kind {
+		return false, false
+	}
+	switch x.kind {
+	case descZero:
+		return true, true
+	case descSeeded:
+		if x.seed == y.seed {
+			return true, true
+		}
+	default:
+		if x.blob == y.blob {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// Equal reports whether two frames have byte-identical contents: O(1) on
+// matching descriptors, checksum reject for the common different case, and
+// a byte verify only when checksums collide.
 func (pm *PhysMem) Equal(a, b FrameID) bool {
 	if a == b {
 		return true
 	}
 	fa, fb := pm.frameAt(a), pm.frameAt(b)
-	switch {
-	case fa.data == nil && fb.data == nil:
-		return true
-	case fa.data == nil:
-		return pm.IsZero(b)
-	case fb.data == nil:
-		return pm.IsZero(a)
+	if eq, ok := descsEqualFast(fa.desc, fb.desc); ok {
+		return eq
 	}
-	return bytes.Equal(fa.data, fb.data)
+	if pm.checksumOf(fa) != pm.checksumOf(fb) {
+		return false
+	}
+	return bytes.Equal(pm.bytesOf(fa), pm.bytesOf(fb))
 }
 
 // Compare orders two frames by lexicographic byte comparison; the KSM
-// stable and unstable trees use it as their key order.
+// stable and unstable trees use it as their key order. The order must stay
+// byte-based — tree shape feeds frame-free order and therefore frame
+// assignment, which every figure depends on — but equal descriptors
+// short-circuit to 0 without materializing.
 func (pm *PhysMem) Compare(a, b FrameID) int {
 	if a == b {
 		return 0
 	}
-	return bytes.Compare(pm.Bytes(a), pm.Bytes(b))
+	fa, fb := pm.frameAt(a), pm.frameAt(b)
+	if eq, ok := descsEqualFast(fa.desc, fb.desc); ok && eq {
+		return 0
+	}
+	return bytes.Compare(pm.bytesOf(fa), pm.bytesOf(fb))
 }
 
-// Checksum computes the FNV-1a checksum of the frame contents, cached
-// until the next write.
+// Checksum returns the FNV-1a checksum of the frame contents, computed at
+// most once per content — zero pages use the pool's precomputed sum, seeded
+// pages the per-seed cache, literal blobs a sum cached on the blob itself.
 func (pm *PhysMem) Checksum(id FrameID) uint64 {
-	f := pm.frameAt(id)
-	if f.sumValid {
-		return f.sum
+	return pm.checksumOf(pm.frameAt(id))
+}
+
+func (pm *PhysMem) checksumOf(f *frame) uint64 {
+	switch f.desc.kind {
+	case descZero:
+		return pm.zeroSum
+	case descSeeded:
+		return pm.seedSum(f.desc.seed)
+	default:
+		return f.desc.blob.checksum()
 	}
-	if f.data == nil {
-		f.sum = pm.zeroSum
-	} else {
-		f.sum = ChecksumBytes(f.data)
-	}
-	f.sumValid = true
-	return f.sum
 }
 
 // Stats reports cumulative allocator statistics.

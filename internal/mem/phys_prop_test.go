@@ -114,7 +114,7 @@ func (m *physModel) check(t *testing.T) {
 		f := &pm.frames[i]
 		if f.refcnt > 0 {
 			inUse++
-			if f.data == nil {
+			if f.desc.kind == descZero {
 				zero++
 			}
 		}

@@ -315,7 +315,7 @@ func TestGaugeCountersTrackTransitions(t *testing.T) {
 			if pm.IsKSM(f) {
 				ksm++
 			}
-			if pm.frames[id].data == nil {
+			if pm.frames[id].desc.kind == descZero {
 				zero++
 			}
 		}

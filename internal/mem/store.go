@@ -1,0 +1,293 @@
+package mem
+
+import "bytes"
+
+// This file is the content-addressed page store behind PhysMem. A frame no
+// longer owns a private 4 KiB byte array; it holds a small content
+// descriptor that says how to produce the bytes:
+//
+//   - Zero: the canonical all-zero page (no storage at all);
+//   - Seeded: a deterministic Fill(seed) stream, materializable on demand
+//     (no storage until somebody actually reads the bytes);
+//   - Literal: a reference-counted blob of real bytes.
+//
+// Literal blobs come in two flavours. Interned blobs live in a
+// checksum-keyed content table, are immutable, and are shared by every
+// frame, swap slot, and snapshot whose content is byte-identical — the
+// simulator's own memory is deduplicated the same way the modelled KSM
+// deduplicates guest frames. Private blobs are the product of Write:
+// freshly mutated content that is expected to keep changing, held outside
+// the table. A private blob can still be aliased (CopyFrame, swap
+// snapshots); mutation through any alias is copy-on-write once more than
+// one reference exists.
+//
+// All of this is invisible above the PhysMem API: Bytes materializes on
+// read, Equal/Compare/Checksum answer from descriptors and cached checksums
+// whenever possible and fall back to byte verification on checksum
+// collision, so every observable byte, comparison, and merge decision is
+// identical to the old one-array-per-frame representation.
+
+// descKind enumerates the content descriptor kinds.
+type descKind uint8
+
+const (
+	descZero descKind = iota
+	descSeeded
+	descLiteral
+)
+
+// desc is one frame's content descriptor. The zero value is the zero page.
+type desc struct {
+	kind descKind
+	seed Seed  // descSeeded: Fill(page, seed) produces the bytes
+	blob *blob // descLiteral
+}
+
+// blob is a reference-counted page buffer. refs counts every descriptor
+// holding it: frame descs, swap-slot snapshots, and any other PageContent
+// handle. Interned blobs are immutable and indexed in the content table
+// under their checksum; private blobs are mutable only while exactly one
+// reference exists.
+type blob struct {
+	data     []byte
+	refs     int32
+	sum      uint64
+	sumValid bool
+	interned bool
+	// seeded marks a blob registered in the seedBlobs index under seed, so
+	// its death can unregister it. Set on the first materialization of a
+	// Seeded descriptor; later frames with the same seed attach in O(1).
+	seeded bool
+	seed   Seed
+}
+
+// checksum returns the blob's content checksum, computing and caching it on
+// first use — once per content, not per frame per scan pass.
+func (b *blob) checksum() uint64 {
+	if !b.sumValid {
+		b.sum = ChecksumBytes(b.data)
+		b.sumValid = true
+	}
+	return b.sum
+}
+
+// contentStore holds the pool's interned blobs and per-seed checksum cache.
+// It is per-PhysMem: concurrently running clusters share no mutable state.
+type contentStore struct {
+	// table indexes interned blobs by content checksum; buckets are scanned
+	// in insertion order and verified byte-for-byte, so checksum collisions
+	// cost a memcmp, never a wrong share.
+	table map[uint64][]*blob
+	// seedSums caches the page checksum of each Seed ever checksummed, so
+	// seeded frames answer Checksum without generating bytes again.
+	seedSums map[Seed]uint64
+	// seedBlobs indexes live interned blobs by the fill seed that produced
+	// them: materializing a seed that some frame already materialized is a
+	// map hit, not a fill-and-compare.
+	seedBlobs map[Seed]*blob
+
+	blobs         int   // live blobs, interned + private
+	internedBlobs int   // blobs currently in the table
+	blobBytes     int64 // bytes held by live blobs
+	internHits    uint64
+	cowCopies     uint64
+}
+
+func newContentStore() *contentStore {
+	return &contentStore{
+		table:     make(map[uint64][]*blob),
+		seedSums:  make(map[Seed]uint64),
+		seedBlobs: make(map[Seed]*blob),
+	}
+}
+
+// newBlob registers a fresh buffer with the store's accounting.
+func (cs *contentStore) newBlob(data []byte, interned bool) *blob {
+	b := &blob{data: data, refs: 1, interned: interned}
+	cs.blobs++
+	cs.blobBytes += int64(len(data))
+	if interned {
+		cs.internedBlobs++
+	}
+	return b
+}
+
+// retain takes one more reference on a descriptor's backing, if any.
+func (cs *contentStore) retain(d desc) desc {
+	if d.kind == descLiteral {
+		d.blob.refs++
+	}
+	return d
+}
+
+// release drops one reference; a blob whose last reference goes away leaves
+// the table (if interned) and its bytes return to the Go heap.
+func (cs *contentStore) release(d desc) {
+	if d.kind != descLiteral {
+		return
+	}
+	b := d.blob
+	b.refs--
+	if b.refs > 0 {
+		return
+	}
+	if b.refs < 0 {
+		panic("mem: content blob over-released")
+	}
+	cs.blobs--
+	cs.blobBytes -= int64(len(b.data))
+	if b.seeded {
+		delete(cs.seedBlobs, b.seed)
+		b.seeded = false
+	}
+	if b.interned {
+		cs.internedBlobs--
+		cs.removeInterned(b)
+	}
+}
+
+// removeInterned deletes a dying blob from its table bucket.
+func (cs *contentStore) removeInterned(b *blob) {
+	sum := b.checksum()
+	bucket := cs.table[sum]
+	for i, cand := range bucket {
+		if cand == b {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(cs.table, sum)
+	} else {
+		cs.table[sum] = bucket
+	}
+}
+
+// lookupInterned returns the table blob byte-equal to data, if any.
+func (cs *contentStore) lookupInterned(data []byte, sum uint64) *blob {
+	for _, cand := range cs.table[sum] {
+		if bytes.Equal(cand.data, data) {
+			return cand
+		}
+	}
+	return nil
+}
+
+// intern returns an interned blob holding exactly data's bytes, reusing an
+// existing table entry on a verified match and cloning data into a new
+// immutable blob otherwise. The returned blob carries one new reference.
+func (cs *contentStore) intern(data []byte, sum uint64) *blob {
+	if cand := cs.lookupInterned(data, sum); cand != nil {
+		cand.refs++
+		cs.internHits++
+		return cand
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	b := cs.newBlob(buf, true)
+	b.sum = sum
+	b.sumValid = true
+	cs.table[sum] = append(cs.table[sum], b)
+	return b
+}
+
+// ContentStats is a snapshot of the content store's occupancy, for tests,
+// benchmarks, and the heap-footprint trajectory in BENCH_content.json.
+type ContentStats struct {
+	// Blobs is the number of live page buffers (interned + private);
+	// BlobBytes is the bytes they hold — the store's whole variable-size
+	// footprint, where the old representation held one page per frame.
+	Blobs     int
+	BlobBytes int64
+	// InternedBlobs counts blobs shared through the content table.
+	InternedBlobs int
+	// SeedSums is the per-seed checksum cache size.
+	SeedSums int
+	// InternHits counts materializations and writes served by an existing
+	// interned blob instead of a new buffer.
+	InternHits uint64
+	// COWCopies counts writes that had to copy a shared or interned blob
+	// before mutating.
+	COWCopies uint64
+}
+
+// ContentStats returns a snapshot of the content store's counters.
+func (pm *PhysMem) ContentStats() ContentStats {
+	return ContentStats{
+		Blobs:         pm.cs.blobs,
+		BlobBytes:     pm.cs.blobBytes,
+		InternedBlobs: pm.cs.internedBlobs,
+		SeedSums:      len(pm.cs.seedSums),
+		InternHits:    pm.cs.internHits,
+		COWCopies:     pm.cs.cowCopies,
+	}
+}
+
+// PageContent is a refcounted handle on one page's content, detached from
+// any frame: the swap store holds one per occupied slot, so swapping a page
+// out costs a descriptor copy instead of a 4 KiB buffer copy, and slots
+// holding identical content share one blob. The zero value is the zero
+// page. Handles obtained from Snapshot must be returned to the pool exactly
+// once, through Restore (install into a frame) or Release (discard).
+type PageContent struct {
+	d desc
+}
+
+// IsZero reports whether the handle is the canonical zero page. Snapshot
+// canonicalizes all-zero content, so this is the swap store's same-filled
+// page test.
+func (c PageContent) IsZero() bool { return c.d.kind == descZero }
+
+// Snapshot captures the frame's current content as a detached handle,
+// aliasing the backing blob instead of copying bytes. All-zero content —
+// lazy or materialized — canonicalizes to the zero handle, exactly matching
+// the byte-level IsZero test the swap store used to run. A private literal
+// blob is promoted into the content table first, so snapshots of
+// byte-identical pages converge on one blob: this is what makes the swap
+// store content-deduplicated for free.
+func (pm *PhysMem) Snapshot(id FrameID) PageContent {
+	f := pm.frameAt(id)
+	if pm.isZeroFrame(f) {
+		return PageContent{}
+	}
+	if f.desc.kind == descLiteral && !f.desc.blob.interned {
+		b := f.desc.blob
+		sum := b.checksum()
+		if existing := pm.cs.lookupInterned(b.data, sum); existing != nil {
+			// The table already holds this content: retarget the frame and
+			// drop the private duplicate.
+			existing.refs++
+			pm.cs.internHits++
+			pm.cs.release(f.desc)
+			f.desc = desc{kind: descLiteral, blob: existing}
+		} else {
+			// Adopt the private buffer into the table in place — no copy.
+			b.interned = true
+			pm.cs.internedBlobs++
+			pm.cs.table[sum] = append(pm.cs.table[sum], b)
+		}
+	}
+	return PageContent{d: pm.cs.retain(f.desc)}
+}
+
+// Restore installs a snapshot's content into a frame, consuming the handle.
+// The frame's previous content is released.
+func (pm *PhysMem) Restore(id FrameID, c PageContent) {
+	f := pm.frameAt(id)
+	if f.ksm {
+		panic("mem: Restore into KSM stable frame")
+	}
+	wasZero := f.desc.kind == descZero
+	pm.cs.release(f.desc)
+	f.desc = c.d
+	nowZero := f.desc.kind == descZero
+	if wasZero && !nowZero {
+		pm.zeroFrames--
+	} else if !wasZero && nowZero {
+		pm.zeroFrames++
+	}
+}
+
+// Release discards a snapshot without installing it (a swap slot dropped
+// while its page was unmapped).
+func (pm *PhysMem) Release(c PageContent) { pm.cs.release(c.d) }
