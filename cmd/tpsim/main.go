@@ -7,10 +7,11 @@
 //	tpsim [-scale N] [-seed S] [-quick] [-jobs N] <experiment> [...]
 //
 // Experiments: table1 table2 table3 table4 fig2 fig3a fig3b fig3c fig4
-// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff chaos, or "all" (which runs
-// everything except chaos). fig2/fig3a share one run, as do fig4/fig5a;
-// requesting either id prints that part. The -chaos flag appends the chaos
-// sweep; -chaos-seed fixes its fault schedule.
+// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff dirtylog chaos, or "all"
+// (which runs everything except dirtylog and chaos). fig2/fig3a share one
+// run, as do fig4/fig5a; requesting either id prints that part. The -chaos
+// flag appends the chaos sweep; -chaos-seed fixes its fault schedule;
+// -incremental turns on dirty-ring incremental KSM rescans.
 //
 // Independent cluster runs (sweep points, error-bar repetitions, the
 // experiments of "all") fan out across -jobs workers. Results are collected
@@ -40,6 +41,7 @@ func main() {
 	thpKSMSplit := flag.Bool("thp-ksm-split", false, "let KSM split huge pages over verified duplicate content")
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos sweep (guest kills, demand spikes, KSM stalls)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault schedule seed for -chaos (fixed seed = byte-identical output)")
+	incremental := flag.Bool("incremental", false, "enable dirty-ring incremental KSM rescans on every cluster")
 	flag.Usage = usage
 	flag.Parse()
 	ids := flag.Args()
@@ -56,14 +58,15 @@ func main() {
 		os.Exit(2)
 	}
 	opts := core.Options{
-		Scale:       *scale,
-		Seed:        core.SeedFromUint64(*seed),
-		Quick:       *quick,
-		Jobs:        *jobs,
-		Progress:    printProgress,
-		THPPolicy:   thpPolicy,
-		THPKSMSplit: *thpKSMSplit,
-		ChaosSeed:   *chaosSeed,
+		Scale:           *scale,
+		Seed:            core.SeedFromUint64(*seed),
+		Quick:           *quick,
+		Jobs:            *jobs,
+		Progress:        printProgress,
+		THPPolicy:       thpPolicy,
+		THPKSMSplit:     *thpKSMSplit,
+		ChaosSeed:       *chaosSeed,
+		IncrementalScan: *incremental,
 	}
 	asCSV = *csv
 	showTimeline = *timeline
@@ -80,7 +83,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `tpsim — rerun the ISPASS 2013 TPS-in-Java experiments
 
 usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] [-timeline] [-metrics-csv]
-             [-thp never|madvise|always] [-thp-ksm-split]
+             [-thp never|madvise|always] [-thp-ksm-split] [-incremental]
              [-chaos] [-chaos-seed S] <experiment>...
 
 experiments:
@@ -94,12 +97,15 @@ experiments:
   fig7             DayTrader throughput vs 1..9 guest VMs
   fig8             SPECjEnterprise score vs 5..8 guest VMs
   thp-tradeoff     THP policy sweep: huge-page coverage vs KSM sharing
+  dirtylog         converged KSM rescan cost: linear vs dirty-ring incremental
   chaos            fault-injection sweep: kills/restarts, demand spikes, stalls
   check            evaluate every paper claim on quick runs (self-test)
-  all              everything above except chaos
+  all              everything above except dirtylog and chaos
 
 -thp applies a huge-page policy to the paper experiments themselves
 (thp-tradeoff sweeps its own policies and ignores the flag).
+-incremental likewise applies dirty-ring incremental KSM rescans to the paper
+experiments (dirtylog sweeps both modes itself and ignores the flag).
 -chaos appends the chaos experiment to the requested list (it is not part
 of "all"); -chaos-seed drives its deterministic fault schedule.
 `)
@@ -156,6 +162,13 @@ func chaosText(f core.ChaosFigure) string {
 		return core.ChaosFigureTable(f).CSV()
 	}
 	return core.RenderChaosFigure(f) + "\n"
+}
+
+func dirtyLogText(f core.DirtyLogFigure) string {
+	if asCSV {
+		return core.DirtyLogFigureTable(f).CSV()
+	}
+	return core.RenderDirtyLogFigure(f) + "\n"
 }
 
 func powerText(f core.PowerFigure) string {
@@ -244,6 +257,8 @@ func renderFigure(id string, opts core.Options) (string, error) {
 		return sweepText(core.Fig8(opts)), nil
 	case "thp-tradeoff":
 		return thpText(core.THPTradeoff(opts)), nil
+	case "dirtylog":
+		return dirtyLogText(core.DirtyLogSweep(opts)), nil
 	case "chaos":
 		return chaosText(core.Chaos(opts)), nil
 	case "check":

@@ -12,6 +12,8 @@
 package balloon
 
 import (
+	"sort"
+
 	"repro/internal/guestos"
 	"repro/internal/hypervisor"
 )
@@ -76,9 +78,10 @@ func (m *Manager) BalloonedPages() int {
 }
 
 // Balance checks host pressure and, if free memory is below the low
-// watermark, inflates every guest's balloon proportionally until the target
-// is met or the guests have nothing cheap left to give. It returns the
-// number of pages recovered.
+// watermark, inflates guest balloons until the target is met or the guests
+// have nothing cheap left to give. Without working-set estimates every guest
+// gives proportionally; with the host's dirty log on, cold guests give
+// first. It returns the number of pages recovered.
 func (m *Manager) Balance() int {
 	free := m.host.FreeBytes()
 	if free >= m.cfg.LowWatermarkBytes || len(m.kernels) == 0 {
@@ -86,41 +89,84 @@ func (m *Manager) Balance() int {
 	}
 	m.stats.Inflations++
 	needPages := int((m.cfg.TargetFreeBytes - free) / int64(m.host.PageSize()))
-	perGuest := needPages/len(m.kernels) + 1
 	total := 0
-	for i, k := range m.kernels {
-		got := k.ReclaimPages(perGuest)
-		m.ballooned[i] += got
-		total += got
+	if m.host.DirtyLogEnabled() {
+		total = m.reclaimColdestFirst(needPages)
+	} else {
+		perGuest := needPages/len(m.kernels) + 1
+		for i, k := range m.kernels {
+			got := k.ReclaimPages(perGuest)
+			m.ballooned[i] += got
+			total += got
+		}
 	}
 	m.stats.PagesReclaimed += total
 	return total
 }
 
-// ReclaimPages asks the guests for up to n pages right now, spread evenly,
-// regardless of watermarks — the targeted inflation a memory-demand spike
-// needs before the host falls back to swapping. It returns the pages
-// actually recovered (guests may have nothing cheap left to give).
+// ReclaimPages asks the guests for up to n pages right now, regardless of
+// watermarks — the targeted inflation a memory-demand spike needs before the
+// host falls back to swapping. Without working-set estimates the request is
+// spread evenly; with the host's dirty log on, cold guests are squeezed
+// first. It returns the pages actually recovered (guests may have nothing
+// cheap left to give).
 func (m *Manager) ReclaimPages(n int) int {
 	if n <= 0 || len(m.kernels) == 0 {
 		return 0
 	}
 	m.stats.Inflations++
-	perGuest := n/len(m.kernels) + 1
 	total := 0
+	if m.host.DirtyLogEnabled() {
+		total = m.reclaimColdestFirst(n)
+	} else {
+		perGuest := n/len(m.kernels) + 1
+		for i, k := range m.kernels {
+			if total >= n {
+				break
+			}
+			want := perGuest
+			if want > n-total {
+				want = n - total
+			}
+			got := k.ReclaimPages(want)
+			m.ballooned[i] += got
+			total += got
+		}
+	}
+	m.stats.PagesReclaimed += total
+	return total
+}
+
+// reclaimColdestFirst squeezes guests in ascending working-set order — the
+// dirty-log drain estimate the KSM scanner maintains — so the page cache a
+// hot guest is actively using is the last thing sacrificed. Guests without
+// an estimate (no drain observed yet) are treated as hot; ties and unknowns
+// keep manager order, so the pass is deterministic.
+func (m *Manager) reclaimColdestFirst(n int) int {
+	type ranked struct {
+		idx int
+		ws  int
+	}
+	order := make([]ranked, 0, len(m.kernels))
 	for i, k := range m.kernels {
+		ws := int(^uint(0) >> 1) // unknown: hottest possible
+		if vm, ok := k.VM().(*hypervisor.VMProcess); ok {
+			if est, valid := vm.WorkingSetPages(); valid {
+				ws = est
+			}
+		}
+		order = append(order, ranked{idx: i, ws: ws})
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].ws < order[b].ws })
+	total := 0
+	for _, r := range order {
 		if total >= n {
 			break
 		}
-		want := perGuest
-		if want > n-total {
-			want = n - total
-		}
-		got := k.ReclaimPages(want)
-		m.ballooned[i] += got
+		got := m.kernels[r.idx].ReclaimPages(n - total)
+		m.ballooned[r.idx] += got
 		total += got
 	}
-	m.stats.PagesReclaimed += total
 	return total
 }
 

@@ -102,12 +102,13 @@ func Chaos(o Options) ChaosFigure {
 // chaosCell runs one cluster under one fault profile.
 func chaosCell(o Options, guests int, p chaosProfile, label string, seq int) ChaosRow {
 	cfg := ClusterConfig{
-		Scale:         o.scale(),
-		Specs:         []workload.Spec{workload.DayTrader()},
-		NumVMs:        guests,
-		SharedClasses: true,
-		BaseSeed:      o.Seed,
-		EnableMetrics: o.Telemetry != nil,
+		Scale:           o.scale(),
+		Specs:           []workload.Spec{workload.DayTrader()},
+		NumVMs:          guests,
+		SharedClasses:   true,
+		BaseSeed:        o.Seed,
+		EnableMetrics:   o.Telemetry != nil,
+		IncrementalScan: o.IncrementalScan,
 	}
 	if o.Quick {
 		cfg.SteadyRounds = 15
@@ -177,11 +178,18 @@ type chaosHarness struct {
 }
 
 func newChaosHarness(c *Cluster) *chaosHarness {
-	return &chaosHarness{
+	h := &chaosHarness{
 		c:         c,
 		balloon:   balloon.NewManager(c.Host, c.Kernels, balloon.Config{}),
 		oomPolicy: hypervisor.VictimLargest,
 	}
+	if c.Host.DirtyLogEnabled() {
+		// With dirty logging on, the scanner's drain observations give every
+		// guest a working-set estimate; kill the coldest instead of the
+		// largest so reclaim destroys the least cached value.
+		h.oomPolicy = hypervisor.VictimColdest
+	}
+	return h
 }
 
 // leakCheck asserts the leak invariant, recording rather than failing so the

@@ -92,6 +92,12 @@ type ClusterConfig struct {
 	// verifies duplicate content — the sharing-recovery side of the
 	// THP-vs-KSM tradeoff.
 	THPKSMSplit bool
+	// IncrementalScan turns on the host's PML-style dirty-page rings and
+	// switches the KSM scanner to dirty-ring driven incremental rescans once
+	// warm-up converges. The working-set estimates the drains produce also
+	// steer the balloon manager and the OOM killer toward cold guests. Off
+	// (the default) keeps every figure byte-identical.
+	IncrementalScan bool
 	// SharedAOT additionally populates and uses the cache's AOT section
 	// (extension; implies SharedClasses behaviour for code).
 	SharedAOT bool
@@ -224,6 +230,7 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 		Name:               "BladeCenter-LS21",
 		RAMBytes:           cfg.HostRAMBytes / int64(cfg.Scale),
 		KernelReserveBytes: HostKernelReserveBytes / int64(cfg.Scale),
+		DirtyLog:           cfg.IncrementalScan,
 	}, clock)
 	c := &Cluster{
 		Cfg:    cfg,
@@ -241,6 +248,7 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 	kcfg := ksm.DefaultConfig()
 	kcfg.PagesToScan = 10000
 	kcfg.SplitHugePages = cfg.THPKSMSplit
+	kcfg.IncrementalScan = cfg.IncrementalScan
 	c.Scanner = ksm.New(host, kcfg)
 	if !cfg.DisableKSM {
 		c.Scanner.Start()

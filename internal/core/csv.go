@@ -84,6 +84,22 @@ func ChaosFigureTable(f ChaosFigure) *report.Table {
 	return t
 }
 
+// DirtyLogFigureTable flattens the dirtylog sweep result.
+func DirtyLogFigureTable(f DirtyLogFigure) *report.Table {
+	t := &report.Table{
+		Title: f.ID,
+		Headers: []string{"guests", "churn_pct", "mode", "scan_pages_per_interval",
+			"registered_pages", "ksm_saving_mb", "dirty_drained", "ring_overflows",
+			"incremental_rounds", "full_scans"},
+	}
+	for _, r := range f.Rows {
+		t.AddRow(r.Guests, r.ChurnPct, r.Mode, r.ScanPerInterval, r.RegisteredPages,
+			r.SharingMB, fmt.Sprint(r.DirtyDrained), fmt.Sprint(r.RingOverflows),
+			fmt.Sprint(r.IncrementalRounds), fmt.Sprint(r.FullScans))
+	}
+	return t
+}
+
 // PowerFigureTable flattens the Fig. 6 result.
 func PowerFigureTable(f PowerFigure) *report.Table {
 	t := &report.Table{

@@ -46,6 +46,10 @@ type Options struct {
 	// (tpsim -chaos-seed). Fixed seed ⇒ byte-identical sweep output at any
 	// Jobs width. Only the chaos experiment reads it.
 	ChaosSeed uint64
+	// IncrementalScan enables the dirty-ring incremental KSM rescan mode on
+	// every cluster the experiment builds (tpsim -incremental). The zero
+	// value keeps the linear scanner and all figures byte-identical.
+	IncrementalScan bool
 }
 
 func (o Options) scale() int {
@@ -202,6 +206,7 @@ func dayTraderCluster(o Options, shared bool) *Cluster {
 	cfg.EnableMetrics = o.Telemetry != nil
 	cfg.THPPolicy = o.THPPolicy
 	cfg.THPKSMSplit = o.THPKSMSplit
+	cfg.IncrementalScan = o.IncrementalScan
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("daytrader x4 shared=%v", shared), c.Metrics)
 	return c
@@ -246,6 +251,7 @@ func mixedCluster(o Options, shared bool) *Cluster {
 	cfg.EnableMetrics = o.Telemetry != nil
 	cfg.THPPolicy = o.THPPolicy
 	cfg.THPKSMSplit = o.THPKSMSplit
+	cfg.IncrementalScan = o.IncrementalScan
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("mixed x3 shared=%v", shared), c.Metrics)
 	return c
@@ -286,6 +292,7 @@ func tuscanyCluster(o Options, shared bool) *Cluster {
 	cfg.EnableMetrics = o.Telemetry != nil
 	cfg.THPPolicy = o.THPPolicy
 	cfg.THPKSMSplit = o.THPKSMSplit
+	cfg.IncrementalScan = o.IncrementalScan
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("tuscany x3 shared=%v", shared), c.Metrics)
 	return c

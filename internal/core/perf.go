@@ -242,6 +242,7 @@ func sweep(o Options, id, title, unit string, spec workload.Spec, counts []int, 
 							EnableMetrics:      o.Telemetry != nil,
 							THPPolicy:          o.THPPolicy,
 							THPKSMSplit:        o.THPKSMSplit,
+							IncrementalScan:    o.IncrementalScan,
 						}
 						c := BuildCluster(cfg)
 						o.Telemetry.CollectAt(seq, label, c.Metrics)

@@ -163,6 +163,34 @@ func RenderChaosFigure(f ChaosFigure) string {
 	return b.String()
 }
 
+// RenderDirtyLogFigure prints the dirtylog sweep: one row per mode × guest
+// count × churn rate with the converged per-interval rescan cost.
+func RenderDirtyLogFigure(f DirtyLogFigure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", strings.ToUpper(f.ID), f.Title)
+	t := &report.Table{Headers: []string{
+		"Guests", "Churn %", "Mode", "Scan pages/interval", "Registered pages",
+		"KSM saving MB", "Dirty drained", "Ring overflows", "Inc rounds", "Full scans",
+	}}
+	for _, r := range f.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Guests),
+			fmt.Sprintf("%d", r.ChurnPct),
+			r.Mode,
+			fmt.Sprintf("%.0f", r.ScanPerInterval),
+			fmt.Sprintf("%d", r.RegisteredPages),
+			fmt.Sprintf("%.1f", r.SharingMB),
+			fmt.Sprintf("%d", r.DirtyDrained),
+			fmt.Sprintf("%d", r.RingOverflows),
+			fmt.Sprintf("%d", r.IncrementalRounds),
+			fmt.Sprintf("%d", r.FullScans),
+		)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nThe linear scanner's converged cost tracks registered pages; incremental mode's tracks churn.\n")
+	return b.String()
+}
+
 // RenderPowerFigure prints the Fig. 6 result.
 func RenderPowerFigure(f PowerFigure) string {
 	var b strings.Builder

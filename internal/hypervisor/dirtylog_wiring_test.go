@@ -1,0 +1,135 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/simclock"
+)
+
+func dirtyHost(t *testing.T, ramPages, ringPages int) *Host {
+	t.Helper()
+	return NewHost(Config{
+		Name:           "t",
+		RAMBytes:       int64(ramPages) * pg,
+		DirtyLog:       true,
+		DirtyRingPages: ringPages,
+	}, simclock.New())
+}
+
+func TestDirtyLogOffMeansNoRing(t *testing.T) {
+	h := NewHost(Config{Name: "t", RAMBytes: 256 * pg}, simclock.New())
+	vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: 16 * pg, Seed: 1})
+	vm.TouchGuestPage(0, true)
+	if pages, overflowed := vm.DrainDirtyLog(); pages != nil || overflowed {
+		t.Fatalf("ringless VM drained %v (overflow %v)", pages, overflowed)
+	}
+	if vm.DirtyLogDepth() != 0 {
+		t.Fatal("ringless VM reports ring depth")
+	}
+	if h.DirtyLogEnabled() {
+		t.Fatal("DirtyLogEnabled true on a default host")
+	}
+}
+
+func TestDirtyLogRecordsFaultsAndWrites(t *testing.T) {
+	h := dirtyHost(t, 256, 0)
+	vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: 16 * pg, Seed: 1})
+
+	vm.TouchGuestPage(3, false) // minor fault: first touch dirties the frame
+	vm.TouchGuestPage(5, true)  // write access
+	vm.TouchGuestPage(5, true)  // same cycle: deduplicated
+	if got := vm.DirtyLogDepth(); got != 2 {
+		t.Fatalf("ring depth = %d, want 2", got)
+	}
+	pages, overflowed := vm.DrainDirtyLog()
+	if overflowed {
+		t.Fatal("unexpected overflow")
+	}
+	want := []mem.VPN{vm.GPFNToHostVPN(3), vm.GPFNToHostVPN(5)}
+	if len(pages) != 2 || pages[0] != want[0] || pages[1] != want[1] {
+		t.Fatalf("drained %v, want %v (host VPNs in append order)", pages, want)
+	}
+
+	// A read of an already-mapped page is not a dirtying access...
+	vm.TouchGuestPage(5, false)
+	if got := vm.DirtyLogDepth(); got != 0 {
+		t.Fatalf("read access logged: depth %d", got)
+	}
+	// ...but a write of it is, dedup having reset with the drain cycle.
+	vm.TouchGuestPage(5, true)
+	if got := vm.DirtyLogDepth(); got != 1 {
+		t.Fatalf("post-drain write not logged: depth %d", got)
+	}
+}
+
+func TestDirtyLogOverflowIsConservative(t *testing.T) {
+	h := dirtyHost(t, 256, 4)
+	vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: 16 * pg, Seed: 1})
+	for i := uint64(0); i < 10; i++ {
+		vm.TouchGuestPage(i, true)
+	}
+	pages, overflowed := vm.DrainDirtyLog()
+	if !overflowed {
+		t.Fatal("10 writes through a 4-entry ring did not overflow")
+	}
+	if len(pages) != 4 {
+		t.Fatalf("retained %d pages, want the 4 that fit", len(pages))
+	}
+	if vm.DirtyLogOverflows() != 1 {
+		t.Fatalf("overflow counter = %d, want 1 (latched once per cycle)", vm.DirtyLogOverflows())
+	}
+	// The next cycle starts clean.
+	vm.TouchGuestPage(0, true)
+	if pages, overflowed := vm.DrainDirtyLog(); overflowed || len(pages) != 1 {
+		t.Fatalf("post-overflow cycle drained %v (overflow %v)", pages, overflowed)
+	}
+}
+
+func TestWorkingSetEWMA(t *testing.T) {
+	h := dirtyHost(t, 256, 0)
+	vm := h.NewVM(VMConfig{Name: "vm", GuestMemBytes: 16 * pg, Seed: 1})
+	if _, ok := vm.WorkingSetPages(); ok {
+		t.Fatal("estimate exists before any drain observation")
+	}
+	vm.ObserveDirtyDrain(100)
+	if ws, ok := vm.WorkingSetPages(); !ok || ws != 100 {
+		t.Fatalf("first observation: ws=%d ok=%v, want 100 true", ws, ok)
+	}
+	vm.ObserveDirtyDrain(0)
+	if ws, _ := vm.WorkingSetPages(); ws != 50 {
+		t.Fatalf("EWMA after empty drain = %d, want 50", ws)
+	}
+	vm.ObserveDirtyDrain(0)
+	if ws, _ := vm.WorkingSetPages(); ws != 25 {
+		t.Fatalf("EWMA after second empty drain = %d, want 25", ws)
+	}
+}
+
+func TestVictimColdestPolicy(t *testing.T) {
+	h := dirtyHost(t, 512, 0)
+	hot := h.NewVM(VMConfig{Name: "hot", GuestMemBytes: 16 * pg, Seed: 1})
+	cold := h.NewVM(VMConfig{Name: "cold", GuestMemBytes: 16 * pg, Seed: 2})
+	noEst := h.NewVM(VMConfig{Name: "unknown", GuestMemBytes: 64 * pg, Seed: 3})
+	for i := uint64(0); i < 64; i++ {
+		noEst.TouchGuestPage(i, true)
+	}
+	hot.ObserveDirtyDrain(500)
+	cold.ObserveDirtyDrain(3)
+	if v := VictimColdest(h.VMs()); v != cold {
+		t.Fatalf("victim = %s, want the cold guest", v.Name())
+	}
+	// With no estimates anywhere the policy degrades to VictimLargest.
+	fresh := dirtyHost(t, 512, 0)
+	a := fresh.NewVM(VMConfig{Name: "small", GuestMemBytes: 8 * pg, Seed: 1})
+	b := fresh.NewVM(VMConfig{Name: "large", GuestMemBytes: 64 * pg, Seed: 2})
+	for i := uint64(0); i < 8; i++ {
+		a.TouchGuestPage(i, false)
+	}
+	for i := uint64(0); i < 64; i++ {
+		b.TouchGuestPage(i, false)
+	}
+	if v := VictimColdest(fresh.VMs()); v != b {
+		t.Fatalf("fallback victim = %s, want the largest guest", v.Name())
+	}
+}

@@ -36,6 +36,16 @@ type Config struct {
 	// SwapBytes bounds the swap store; zero means effectively unbounded
 	// (the paper's hosts never exhausted swap, only thrashed).
 	SwapBytes int64
+	// DirtyLog gives every VM process a bounded dirty-page ring in the
+	// style of Intel PML: demand faults, swap-ins, write accesses and
+	// huge-page splits append the guest frame number, and the KSM scanner
+	// drains the rings for incremental rescans. Off (the default) no rings
+	// exist and every code path is byte-identical to earlier releases.
+	DirtyLog bool
+	// DirtyRingPages bounds each VM's ring in distinct pages per drain
+	// cycle (0 = mem.DefaultDirtyRingPages). An overflowing ring forces a
+	// conservative full rescan of that VM.
+	DirtyRingPages int
 }
 
 // Host is a physical machine running guest VM processes.
@@ -148,6 +158,9 @@ func (h *Host) VMs() []*VMProcess { return h.vms }
 
 // Stats returns a snapshot of host counters.
 func (h *Host) Stats() HostStats { return h.stats }
+
+// DirtyLogEnabled reports whether VM processes carry dirty-page rings.
+func (h *Host) DirtyLogEnabled() bool { return h.cfg.DirtyLog }
 
 // SwapUsedBytes reports the current swap disk occupancy. Zero-page slots
 // occupy a slot but no disk bytes (see swapStore.usedBytes).

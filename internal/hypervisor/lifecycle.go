@@ -130,3 +130,29 @@ func VictimLargest(vms []*VMProcess) *VMProcess {
 	}
 	return victim
 }
+
+// VictimColdest kills the guest with the smallest dirty-log working-set
+// estimate — the one whose pages are least likely to be needed again, so the
+// kill destroys the least cached value per freed frame. Guests without an
+// estimate (dirty logging off, or no drain observed yet) are treated as hot
+// and skipped; ties break toward the oldest. When no guest has an estimate
+// the policy degrades to VictimLargest, so it is safe as a default wherever
+// dirty logging may be off.
+func VictimColdest(vms []*VMProcess) *VMProcess {
+	var victim *VMProcess
+	best := 0
+	for _, vm := range vms {
+		ws, ok := vm.WorkingSetPages()
+		if !ok {
+			continue
+		}
+		if victim == nil || ws < best {
+			best = ws
+			victim = vm
+		}
+	}
+	if victim == nil {
+		return VictimLargest(vms)
+	}
+	return victim
+}

@@ -115,6 +115,9 @@ func (vm *VMProcess) SplitHuge(head mem.VPN) {
 	vm.hpt.SplitHuge(head)
 	for i := mem.VPN(0); i < mem.HugePages; i++ {
 		vm.host.noteMapped(vm, head+i)
+		// A split re-exposes the run's base pages to KSM (huge mappings hide
+		// them), so the incremental scanner must revisit each one.
+		vm.logDirty(head + i)
 	}
 	vm.host.stats.HugeSplits++
 	if vm.host.OnHugeSplit != nil {

@@ -50,6 +50,14 @@ type VMProcess struct {
 	// swap slots; touching its memory is a bug and panics.
 	dead bool
 
+	// dirty is the VM's PML-style dirty-page ring (nil unless the host was
+	// configured with DirtyLog). It records guest frame numbers.
+	dirty *mem.DirtyRing
+	// wsEWMA smooths the per-drain distinct-dirty-page counts into a
+	// working-set estimate; wsValid is false until the first drain.
+	wsEWMA  float64
+	wsValid bool
+
 	stats VMStats
 }
 
@@ -76,6 +84,9 @@ func (h *Host) NewVM(cfg VMConfig) *VMProcess {
 		guestPages:  int(cfg.GuestMemBytes / int64(h.cfg.PageSize)),
 		memslotBase: mem.VPN(uint64(h.nextVMSlot) * memslotSpacing),
 		hpt:         mem.NewPageTable(),
+	}
+	if h.cfg.DirtyLog {
+		vm.dirty = mem.NewDirtyRing(h.cfg.DirtyRingPages)
 	}
 	vm.overheadStart = vm.memslotBase + mem.VPN(vm.guestPages) + 256
 	vm.overheadPages = int(cfg.OverheadBytes / int64(h.cfg.PageSize))
@@ -166,6 +177,12 @@ func (vm *VMProcess) MergeableRegions() []MergeableRegion {
 
 // ensureMapped resolves a host-virtual page to a frame, demand-paging or
 // swapping in as needed. With forWrite set, COW mappings are broken.
+//
+// Dirty logging: any fault that (re)materializes the page appends it to the
+// VM's dirty ring — a fresh demand-zero page or a swapped-in page is new
+// content as far as the incremental scanner is concerned — and so does every
+// write access. Read touches of resident pages change nothing and log
+// nothing.
 func (vm *VMProcess) ensureMapped(vpn mem.VPN, forWrite bool) mem.FrameID {
 	if vm.dead {
 		panic(fmt.Sprintf("hypervisor: memory access on killed %s", vm.cfg.Name))
@@ -180,6 +197,7 @@ func (vm *VMProcess) ensureMapped(vpn mem.VPN, forWrite bool) mem.FrameID {
 		vm.stats.MinorFaults++
 		vm.host.stats.MinorFaults++
 		vm.host.noteMapped(vm, vpn)
+		vm.logDirty(vpn)
 		return f
 	case pte.Swapped:
 		// Major fault: bring the page back from swap. Shared pages are never
@@ -192,6 +210,7 @@ func (vm *VMProcess) ensureMapped(vpn mem.VPN, forWrite bool) mem.FrameID {
 		vm.stats.MajorFaults++
 		vm.host.stats.MajorFaults++
 		vm.host.noteMapped(vm, vpn)
+		vm.logDirty(vpn)
 		return f
 	default:
 		if pte.Huge {
@@ -203,12 +222,18 @@ func (vm *VMProcess) ensureMapped(vpn mem.VPN, forWrite bool) mem.FrameID {
 			he.LastUse = vm.host.now()
 			he.Accessed = true
 			vm.hpt.Set(head, he)
+			if forWrite {
+				vm.logDirty(vpn)
+			}
 			return pte.Frame
 		}
 		pte.LastUse = vm.host.now()
 		pte.Accessed = true
-		if forWrite && pte.COW {
-			return vm.breakCOW(vpn, pte)
+		if forWrite {
+			vm.logDirty(vpn)
+			if pte.COW {
+				return vm.breakCOW(vpn, pte)
+			}
 		}
 		vm.hpt.Set(vpn, pte)
 		return pte.Frame
@@ -324,6 +349,82 @@ func (vm *VMProcess) RemapShared(vpn mem.VPN, shared mem.FrameID) {
 	pte.Frame = shared
 	pte.COW = true
 	vm.hpt.Set(vpn, pte)
+}
+
+// logDirty appends a guest-RAM page to the VM's dirty ring, if logging is
+// on. Pages outside the memslot (VM overhead) are never scan candidates and
+// are not logged. The ring stores guest frame numbers, as PML logs GPAs.
+func (vm *VMProcess) logDirty(vpn mem.VPN) {
+	if vm.dirty == nil {
+		return
+	}
+	if vpn < vm.memslotBase || vpn >= vm.memslotBase+mem.VPN(vm.guestPages) {
+		return
+	}
+	vm.dirty.Log(vpn - vm.memslotBase)
+}
+
+// DrainDirtyLog returns the host-virtual page numbers dirtied since the
+// last drain (append order) plus the log-full flag, and starts a fresh
+// cycle. With an overflowed cycle the list is incomplete and the caller
+// must rescan the whole VM. Nil/false when dirty logging is off.
+func (vm *VMProcess) DrainDirtyLog() ([]mem.VPN, bool) {
+	if vm.dirty == nil {
+		return nil, false
+	}
+	gfns, full := vm.dirty.Drain()
+	for i, g := range gfns {
+		gfns[i] = vm.memslotBase + g
+	}
+	return gfns, full
+}
+
+// ResetDirtyLog discards the current dirty cycle — a linear full scan is
+// about to visit every page anyway — reporting how many distinct pages were
+// pending and whether the cycle had overflowed.
+func (vm *VMProcess) ResetDirtyLog() (n int, overflowed bool) {
+	if vm.dirty == nil {
+		return 0, false
+	}
+	return vm.dirty.Reset()
+}
+
+// DirtyLogDepth reports the current cycle's distinct dirty pages (telemetry).
+func (vm *VMProcess) DirtyLogDepth() int {
+	if vm.dirty == nil {
+		return 0
+	}
+	return vm.dirty.Depth()
+}
+
+// DirtyLogOverflows reports the lifetime count of overflowed cycles.
+func (vm *VMProcess) DirtyLogOverflows() uint64 {
+	if vm.dirty == nil {
+		return 0
+	}
+	return vm.dirty.Overflows()
+}
+
+// ObserveDirtyDrain feeds one drain cycle's distinct-dirty-page count into
+// the VM's working-set estimator (an EWMA with α = ½, so the estimate
+// tracks churn shifts within a couple of scan intervals).
+func (vm *VMProcess) ObserveDirtyDrain(pages int) {
+	if !vm.wsValid {
+		vm.wsEWMA = float64(pages)
+		vm.wsValid = true
+		return
+	}
+	vm.wsEWMA = (vm.wsEWMA + float64(pages)) / 2
+}
+
+// WorkingSetPages reports the dirty-log working-set estimate in pages.
+// ok is false when dirty logging is off or no drain has been observed yet —
+// consumers must then treat the VM as hot (unknown ≠ cold).
+func (vm *VMProcess) WorkingSetPages() (int, bool) {
+	if !vm.wsValid {
+		return 0, false
+	}
+	return int(vm.wsEWMA + 0.5), true
 }
 
 // WriteProtect marks the mapping COW so the next write faults (used when a

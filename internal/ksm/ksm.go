@@ -18,6 +18,19 @@
 //
 // The unstable index is cleared at the end of every full pass, as in Linux.
 //
+// Incremental mode (Config.IncrementalScan, requiring the host's dirty-page
+// log): once two consecutive full passes complete — so every long-lived page
+// has had the two same-checksum sightings the volatility gate demands — the
+// scanner stops cycling over all registered pages and instead drains each
+// VM's PML-style dirty ring once per wake-up, revisiting only pages whose
+// content may have changed. The unstable index is retained across rounds as
+// the partner directory (a newly-dirtied page must still be able to find the
+// clean page it now duplicates); gate-skipped pages are queued for the next
+// round so a page that settles down still merges. An overflowed ring forces
+// a conservative full rescan of that VM, as does registering a new VM
+// mid-flight. Converged rescan cost is therefore proportional to churn, not
+// to cluster size.
+//
 // Cost model: all content operations go through mem's content-addressed
 // store, so the per-page work above is cheap in the common case —
 // pm.Checksum is a cache lookup (computed once per distinct content, not
@@ -36,6 +49,7 @@ package ksm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
@@ -70,7 +84,20 @@ type Config struct {
 	// cost of TLB reach. Off, huge-mapped pages are skipped entirely — the
 	// default Linux behaviour, where THP hides duplicates from KSM.
 	SplitHugePages bool
+	// IncrementalScan switches the scanner to dirty-ring driven rescans
+	// after two consecutive completed full passes (see the package comment).
+	// It requires the host to be configured with hypervisor.Config.DirtyLog;
+	// without the rings the scanner stays linear forever. Off (the default),
+	// behaviour is byte-identical to the linear scanner.
+	IncrementalScan bool
 }
+
+// fullPassesBeforeIncremental is how many consecutive completed full passes
+// an IncrementalScan scanner needs before switching to dirty-ring rescans:
+// two, so every stable-content page has had the two same-checksum sightings
+// the volatility gate requires and sits either merged or in the retained
+// unstable index. Registering a new VM resets the streak.
+const fullPassesBeforeIncremental = 2
 
 // DefaultConfig matches the paper's steady-state setting.
 func DefaultConfig() Config {
@@ -103,8 +130,19 @@ type Stats struct {
 	HashRejects    uint64 // hash matched but bytes differed (verification)
 	HugeSkips      uint64 // candidates skipped because a huge mapping covers them
 	HugeSplits     uint64 // huge mappings split by KSM to recover sharing
-	CPUBusy        simclock.Time
-	CPUWall        simclock.Time
+
+	IncrementalRounds  uint64 // dirty-ring drain rounds that produced rescan work
+	IncrementalScanned uint64 // pages scanned from the incremental queue
+	DirtyDrained       uint64 // pages drained from the per-VM dirty rings
+	RingOverflows      uint64 // drain cycles that hit the ring capacity (forced full rescans)
+
+	CPUBusy simclock.Time
+	// CPUWall is wall time since Start minus elapsed injected-stall time:
+	// a stalled daemon is descheduled, so stalls must not dilute the duty
+	// cycle it reports for the time it actually had the CPU.
+	CPUWall simclock.Time
+	// StalledTime is the elapsed portion of injected Stall windows.
+	StalledTime simclock.Time
 }
 
 // CPUPercent reports the scanner's duty cycle since Start.
@@ -125,6 +163,13 @@ type unstableEntry struct {
 	checksum uint64
 }
 
+// incRange is one incremental-round work item: rescan pages [start, end) of
+// one VM. Single dirtied pages are one-page ranges; adjacent pages coalesce.
+type incRange struct {
+	vm         *hypervisor.VMProcess
+	start, end mem.VPN
+}
+
 // KSM is the scanner instance for one host.
 type KSM struct {
 	host *hypervisor.Host
@@ -136,6 +181,37 @@ type KSM struct {
 	regSet    map[hypervisor.MergeableRegion]struct{}
 	regionIdx int
 	cursor    mem.VPN
+	// scannable counts regions with Start < End, maintained on Register and
+	// Unregister (regions never resize in place), so ScanChunk's can-work
+	// guard is O(1) instead of an O(regions) walk per wake-up.
+	scannable int
+	// registeredPages is the page total across regions; the retained
+	// unstable index of incremental mode is compacted when it outgrows it.
+	registeredPages int
+
+	// incremental is true once the scanner has switched to dirty-ring
+	// rescans; fullStreak counts consecutive completed full passes toward
+	// the switch.
+	incremental bool
+	fullStreak  int
+	// incQueue is the current round's rescan work, in region order with
+	// ascending coalesced page ranges per VM.
+	incQueue []incRange
+	// incPending holds gate-skipped (volatile at last sight) pages for the
+	// next round: a page dirtied once must be revisited to earn its second
+	// sighting even though nothing dirties it again. incPendingSet dedups.
+	incPending    []pageKey
+	incPendingSet map[pageKey]struct{}
+	// needFull marks VMs registered while incremental whose rings cannot
+	// vouch for history: their whole region is rescanned next round.
+	needFull map[*hypervisor.VMProcess]bool
+	// stableDirty is set when a stable page may have lost its last mapper
+	// (COW break on a KSM frame, unregister); incremental rounds run the
+	// stale-stable prune only then, keeping idle rounds O(churn).
+	stableDirty bool
+	// ringVM is the VM whose dirty ring the linear cursor reset most
+	// recently; nil between passes so every pass resets each ring once.
+	ringVM *hypervisor.VMProcess
 
 	stable    *stableTreap
 	unstable  map[uint64][]unstableEntry
@@ -150,9 +226,11 @@ type KSM struct {
 	// started": Stats must not report wall time for a scanner that never ran.
 	everStarted bool
 	// stalledUntil makes wake-ups no-ops until the given time (fault
-	// injection: ksmd descheduled by a hostile co-runner). Wall time keeps
-	// accruing, so a stall shows up as a duty-cycle dip, not a gap.
+	// injection: ksmd descheduled by a hostile co-runner). stallSched
+	// accumulates the scheduled stall windows (overlaps extend, never
+	// double-count) so Stats can subtract elapsed stall time from CPUWall.
 	stalledUntil simclock.Time
+	stallSched   simclock.Time
 	stats        Stats
 	// passStart snapshots the counters at the start of the current pass, so
 	// telemetry can expose per-pass activity alongside the cumulative run.
@@ -176,6 +254,7 @@ func New(host *hypervisor.Host, cfg Config) *KSM {
 		stable:    newStableTreap(host.Phys()),
 		unstable:  make(map[uint64][]unstableEntry),
 		checksums: make(map[pageKey]uint64),
+		needFull:  make(map[*hypervisor.VMProcess]bool),
 	}
 	host.OnCOWBreak = k.onCOWBreak
 	return k
@@ -195,46 +274,78 @@ func (k *KSM) SetPagesToScan(n int) {
 
 // Register adds a VM's mergeable regions to the scan list. Regions that are
 // already registered are skipped, so Register followed by RegisterAll cannot
-// double-scan a VM.
+// double-scan a VM. Registering fresh pages resets the full-pass streak (a
+// pass in flight no longer covers everything twice); a scanner already in
+// incremental mode instead schedules a conservative full rescan of the VM,
+// since its ring cannot vouch for writes that predate it.
 func (k *KSM) Register(vm *hypervisor.VMProcess) {
+	added := false
 	for _, reg := range vm.MergeableRegions() {
 		if _, dup := k.regSet[reg]; dup {
 			continue
 		}
 		k.regSet[reg] = struct{}{}
 		k.regions = append(k.regions, reg)
+		k.registeredPages += int(reg.End - reg.Start)
+		if reg.Start < reg.End {
+			k.scannable++
+		}
+		added = true
+	}
+	if !added {
+		return
+	}
+	if k.incremental {
+		k.needFull[vm] = true
+	} else {
+		k.fullStreak = 0
 	}
 }
 
 // Unregister drops a VM's regions from the scan list — what Linux does when
-// a process with madvised VMAs exits — and purges the VM's volatility-gate
-// and unstable-index entries so no stale pointers to the dead process
-// survive. The pass cursor is repaired in place: removing a region before
-// the current one shifts the index down, removing the current one restarts
-// at the region that slides into its slot, and a wrap past the shrunken list
-// does NOT count as a completed pass (no endPass side effects fire). Stable
-// pages the VM mapped are left to refcounting: KillVM drops the mappings and
-// the end-of-pass prune collects nodes nobody maps anymore.
+// a process with madvised VMAs exits — and purges the VM's volatility-gate,
+// unstable-index and incremental-queue entries so no stale pointers to the
+// dead process survive. The pass cursor is repaired in place: removing a
+// region before the current one shifts the index down, removing the current
+// one restarts at the region that slides into its slot. When the repair
+// wraps past the shrunken list the pass IS complete — every surviving region
+// was already scanned this pass — so endPass fires with its usual
+// side effects (unstable-index drop, stale-stable and checksum pruning,
+// FullScans accounting); earlier versions skipped it, silently stretching
+// the pass and its generation bookkeeping across the wrap. Stable pages the
+// VM mapped are left to refcounting: KillVM drops the mappings and the
+// stale-stable prune collects nodes nobody maps anymore.
 func (k *KSM) Unregister(vm *hypervisor.VMProcess) {
 	kept := k.regions[:0]
 	newIdx := k.regionIdx
+	removed := false
 	for i, reg := range k.regions {
 		if reg.VM == vm {
 			delete(k.regSet, reg)
+			k.registeredPages -= int(reg.End - reg.Start)
+			if reg.Start < reg.End {
+				k.scannable--
+			}
 			if i < k.regionIdx {
 				newIdx--
 			} else if i == k.regionIdx {
 				k.cursor = 0
 			}
+			removed = true
 			continue
 		}
 		kept = append(kept, reg)
 	}
 	k.regions = kept
 	k.regionIdx = newIdx
+	wrapped := false
 	if k.regionIdx >= len(k.regions) {
 		k.regionIdx = 0
 		k.cursor = 0
+		wrapped = true
+	}
+	if !removed {
+		return
 	}
 	for key := range k.checksums {
 		if key.vm == vm {
@@ -255,6 +366,39 @@ func (k *KSM) Unregister(vm *hypervisor.VMProcess) {
 		} else {
 			k.unstable[sum] = keptEnts
 		}
+	}
+	delete(k.needFull, vm)
+	if k.ringVM == vm {
+		k.ringVM = nil
+	}
+	if len(k.incQueue) > 0 {
+		keptQ := k.incQueue[:0]
+		for _, r := range k.incQueue {
+			if r.vm != vm {
+				keptQ = append(keptQ, r)
+			}
+		}
+		k.incQueue = keptQ
+	}
+	if len(k.incPending) > 0 {
+		keptP := k.incPending[:0]
+		for _, key := range k.incPending {
+			if key.vm != vm {
+				keptP = append(keptP, key)
+			} else {
+				delete(k.incPendingSet, key)
+			}
+		}
+		k.incPending = keptP
+	}
+	// The VM's stable pages lose their mappers when KillVM runs; let the
+	// next incremental round prune the tree (full passes always do).
+	k.stableDirty = true
+	if wrapped && !k.incremental && len(k.regions) > 0 {
+		// The cursor was inside (or past) the removed trailing region, so
+		// every surviving region has been fully scanned this pass: the pass
+		// boundary that the wrap used to swallow.
+		k.endPass()
 	}
 }
 
@@ -287,9 +431,17 @@ func (k *KSM) Start() {
 }
 
 // Stall suspends scanning for d of virtual time: wake-ups fire but do no
-// work until the deadline passes. Overlapping stalls extend, not stack.
+// work until the deadline passes. Overlapping stalls extend, not stack, and
+// stallSched books only the extension so the scheduled stall time is never
+// double-counted.
 func (k *KSM) Stall(d simclock.Time) {
-	if until := k.host.Clock().Now() + d; until > k.stalledUntil {
+	now := k.host.Clock().Now()
+	if until := now + d; until > k.stalledUntil {
+		start := now
+		if k.stalledUntil > start {
+			start = k.stalledUntil
+		}
+		k.stallSched += until - start
 		k.stalledUntil = until
 	}
 	k.stats.Stalls++
@@ -314,32 +466,77 @@ func (k *KSM) Stats() Stats {
 		s.PagesSharing += mappers
 	})
 	s.SavedBytes = int64(s.PagesSharing-s.PagesShared) * int64(k.host.PageSize())
+	// Elapsed stall time is the scheduled total minus whatever part of the
+	// current window is still in the future.
+	now := k.host.Clock().Now()
+	stalled := k.stallSched
+	if pending := k.stalledUntil - now; pending > 0 {
+		stalled -= pending
+	}
+	s.StalledTime = stalled
 	// A scanner that never started has no wall time; without this guard
 	// CPUPercent would report a bogus duty cycle measured from clock epoch.
 	if k.everStarted {
-		s.CPUWall = k.host.Clock().Now() - k.started
+		s.CPUWall = now - k.started - stalled
+		if s.CPUWall < 0 {
+			s.CPUWall = 0
+		}
 	}
 	return s
 }
 
-// ScanChunk examines up to n pages, advancing the circular cursor over all
-// registered regions. A full pass over every region ends the current
-// unstable generation and prunes dead stable nodes. Empty regions
+// ScanChunk examines up to n pages. In linear mode it advances the circular
+// cursor over all registered regions; a full pass over every region ends the
+// current unstable generation and prunes dead stable nodes. Empty regions
 // (Start == End) are skipped: clamping the cursor into one would otherwise
-// scan reg.End itself, a page KSM was never madvised about.
+// scan reg.End itself, a page KSM was never madvised about. In incremental
+// mode the budget is spent on the dirty-ring rescan queue instead.
 func (k *KSM) ScanChunk(n int) {
-	if !k.anyScannable() {
+	if k.incremental {
+		k.scanIncremental(n)
+		return
+	}
+	if k.scannable == 0 {
 		return
 	}
 	if k.regionIdx >= len(k.regions) {
+		// Unreachable: Unregister repairs the cursor in place (and ends the
+		// pass on a wrap). Kept as defense in depth.
 		k.regionIdx = 0
 		k.cursor = 0
 	}
+	charged := n
 	for i := 0; i < n; i++ {
+		if k.incremental {
+			// endPass switched modes mid-chunk; the remaining budget belongs
+			// to the incremental queue starting next wake-up. (Unreachable
+			// with IncrementalScan off, so off-mode CPU accounting is
+			// unchanged.)
+			charged = i
+			break
+		}
+		skips := 0
 		for k.regions[k.regionIdx].Start >= k.regions[k.regionIdx].End {
+			skips++
+			if skips >= len(k.regions) {
+				// Every region is empty: the maintained count was stale
+				// (possible only when the scan list is rewritten directly,
+				// bypassing Register/Unregister). Resync and stop.
+				k.scannable = 0
+				return
+			}
 			k.advanceRegion()
 		}
 		reg := k.regions[k.regionIdx]
+		if reg.VM != k.ringVM {
+			// The linear cursor is entering this VM: everything its ring
+			// holds is about to be visited anyway, so restart the cycle. At
+			// the switch to incremental mode each ring then holds exactly
+			// the writes since the full scan last reached the VM.
+			k.ringVM = reg.VM
+			dropped, overflowed := reg.VM.ResetDirtyLog()
+			k.observeDrain(reg.VM, dropped, overflowed)
+		}
 		if k.cursor < reg.Start {
 			k.cursor = reg.Start
 		}
@@ -351,17 +548,148 @@ func (k *KSM) ScanChunk(n int) {
 		k.scanPage(reg.VM, vpn)
 		k.stats.PagesScanned++
 	}
-	k.stats.CPUBusy += simclock.Time(int64(n) * int64(k.cfg.ScanCostNanos) / 1000)
+	k.stats.CPUBusy += simclock.Time(int64(charged) * int64(k.cfg.ScanCostNanos) / 1000)
 }
 
-// anyScannable reports whether at least one registered region has pages.
-func (k *KSM) anyScannable() bool {
+// scanIncremental spends one wake-up's budget on the rescan queue. A new
+// round — dirty-ring drains plus the previous round's gate-skipped pages —
+// is built only when the queue is empty, so a page deferred by the gate is
+// never revisited within the same wake-up (the two sightings stay separated
+// by at least a sleep interval, as in linear mode). CPU is charged for pages
+// actually scanned: a converged cluster with empty rings costs nothing.
+func (k *KSM) scanIncremental(n int) {
+	if len(k.incQueue) == 0 {
+		k.buildRound()
+	}
+	scanned := 0
+	for scanned < n && len(k.incQueue) > 0 {
+		r := &k.incQueue[0]
+		vm, vpn := r.vm, r.start
+		r.start++
+		if r.start >= r.end {
+			k.incQueue = k.incQueue[1:]
+		}
+		if k.scanPage(vm, vpn) {
+			k.deferVolatile(pageKey{vm: vm, vpn: vpn})
+		}
+		scanned++
+		k.stats.PagesScanned++
+		k.stats.IncrementalScanned++
+	}
+	if scanned > 0 {
+		k.stats.CPUBusy += simclock.Time(int64(scanned) * int64(k.cfg.ScanCostNanos) / 1000)
+	}
+}
+
+// buildRound assembles the next incremental work queue: each VM's dirty ring
+// is drained once (an overflowed or unvouched-for ring conservatively queues
+// the VM's whole region), merged with the pages the volatility gate deferred
+// last round. Housekeeping that a full pass used to do is event-gated here —
+// the stale-stable prune runs only when sharing may have been lost, and the
+// retained unstable index is compacted only when it outgrows the registered
+// page count — so an idle round's cost is proportional to churn.
+func (k *KSM) buildRound() {
+	if k.stableDirty {
+		k.pruneStaleStable()
+		k.stableDirty = false
+	}
+	if k.unstableN > k.registeredPages {
+		k.compactUnstable()
+	}
+	pending := k.incPending
+	k.incPending = nil
+	k.incPendingSet = nil
+	pendByVM := make(map[*hypervisor.VMProcess][]mem.VPN, len(pending))
+	for _, key := range pending {
+		pendByVM[key.vm] = append(pendByVM[key.vm], key.vpn)
+	}
+
+	drained := make(map[*hypervisor.VMProcess][]mem.VPN, len(k.regions))
+	full := make(map[*hypervisor.VMProcess]bool, len(k.regions))
 	for _, reg := range k.regions {
-		if reg.Start < reg.End {
-			return true
+		if _, done := full[reg.VM]; done {
+			continue
+		}
+		pages, overflowed := reg.VM.DrainDirtyLog()
+		k.observeDrain(reg.VM, len(pages), overflowed)
+		if k.needFull[reg.VM] {
+			overflowed = true
+			delete(k.needFull, reg.VM)
+		}
+		drained[reg.VM] = pages
+		full[reg.VM] = overflowed
+	}
+	for _, reg := range k.regions {
+		if full[reg.VM] {
+			if reg.Start < reg.End {
+				k.incQueue = append(k.incQueue, incRange{vm: reg.VM, start: reg.Start, end: reg.End})
+			}
+			continue
+		}
+		k.queuePages(reg, drained[reg.VM], pendByVM[reg.VM])
+	}
+	if len(k.incQueue) > 0 {
+		k.stats.IncrementalRounds++
+	}
+}
+
+// queuePages sorts, dedups and coalesces the region's dirty plus deferred
+// pages into ascending ranges on the rescan queue.
+func (k *KSM) queuePages(reg hypervisor.MergeableRegion, lists ...[]mem.VPN) {
+	var all []mem.VPN
+	for _, list := range lists {
+		for _, v := range list {
+			if v >= reg.Start && v < reg.End {
+				all = append(all, v)
+			}
 		}
 	}
-	return false
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	start, prev := all[0], all[0]
+	for _, v := range all[1:] {
+		if v == prev || v == prev+1 {
+			prev = v
+			continue
+		}
+		k.incQueue = append(k.incQueue, incRange{vm: reg.VM, start: start, end: prev + 1})
+		start, prev = v, v
+	}
+	k.incQueue = append(k.incQueue, incRange{vm: reg.VM, start: start, end: prev + 1})
+}
+
+// deferVolatile queues a gate-skipped page for the next round's revisit.
+func (k *KSM) deferVolatile(key pageKey) {
+	if k.incPendingSet == nil {
+		k.incPendingSet = make(map[pageKey]struct{})
+	}
+	if _, dup := k.incPendingSet[key]; dup {
+		return
+	}
+	k.incPendingSet[key] = struct{}{}
+	k.incPending = append(k.incPending, key)
+}
+
+// observeDrain books one ring drain/reset: drain statistics, the overflow
+// counter, and the VM's working-set estimate (an overflowed log is
+// incomplete, so the conservative signal is the VM's full registered size).
+func (k *KSM) observeDrain(vm *hypervisor.VMProcess, pages int, overflowed bool) {
+	if !k.host.DirtyLogEnabled() {
+		return
+	}
+	k.stats.DirtyDrained += uint64(pages)
+	if overflowed {
+		k.stats.RingOverflows++
+		pages = 0
+		for _, reg := range k.regions {
+			if reg.VM == vm {
+				pages += int(reg.End - reg.Start)
+			}
+		}
+	}
+	vm.ObserveDirtyDrain(pages)
 }
 
 // advanceRegion moves the cursor to the next region, ending the pass when it
@@ -375,16 +703,42 @@ func (k *KSM) advanceRegion() {
 	}
 }
 
-// endPass finishes a full scan of all regions: the unstable index is
-// dropped (as in Linux), stable nodes whose last mapper went away are
-// pruned, and so are volatility-gate entries for pages that are no longer
-// scan candidates — swapped out, unmapped, or merged into a stable page.
-// Without that prune the checksum map grows with every page the scanner has
-// ever visited instead of staying proportional to the resident set.
+// endPass finishes a full scan of all regions: stable nodes whose last
+// mapper went away are pruned, and so are volatility-gate entries for pages
+// that are no longer scan candidates — swapped out, unmapped, or merged into
+// a stable page. Without that prune the checksum map grows with every page
+// the scanner has ever visited instead of staying proportional to the
+// resident set. The unstable index is dropped (as in Linux) — except when
+// this pass completes the streak that switches the scanner to incremental
+// mode, where the index survives as the partner directory for dirtied pages.
 func (k *KSM) endPass() {
 	k.stats.FullScans++
-	k.unstable = make(map[uint64][]unstableEntry)
-	k.unstableN = 0
+	k.fullStreak++
+	k.ringVM = nil
+	switching := k.cfg.IncrementalScan && k.host.DirtyLogEnabled() &&
+		k.fullStreak >= fullPassesBeforeIncremental
+	if switching {
+		k.incremental = true
+	} else {
+		k.unstable = make(map[uint64][]unstableEntry)
+		k.unstableN = 0
+	}
+	k.pruneStaleStable()
+	pm := k.host.Phys()
+	for key := range k.checksums {
+		frame, resident := key.vm.ResolveResident(key.vpn)
+		if !resident || pm.IsKSM(frame) {
+			delete(k.checksums, key)
+		}
+	}
+	k.stableDirty = false
+	k.passStart = k.stats
+}
+
+// pruneStaleStable drops stable nodes nobody maps anymore (only the tree's
+// own reference is left). Full passes run it unconditionally; incremental
+// rounds only when stableDirty says sharing may have been lost.
+func (k *KSM) pruneStaleStable() {
 	pm := k.host.Phys()
 	for _, f := range k.stable.frames() {
 		if pm.RefCount(f) == 1 { // only the tree holds it
@@ -394,31 +748,50 @@ func (k *KSM) endPass() {
 			k.stats.StalePruned++
 		}
 	}
-	for key := range k.checksums {
-		frame, resident := key.vm.ResolveResident(key.vpn)
-		if !resident || pm.IsKSM(frame) {
-			delete(k.checksums, key)
-		}
-	}
-	k.passStart = k.stats
 }
 
-// scanPage runs the merge pipeline on one candidate page.
-func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) {
+// compactUnstable drops unstable entries that can no longer merge — the page
+// went away, was merged elsewhere, or was rewritten since it was recorded.
+// The retained index of incremental mode has no end-of-pass drop, so this
+// bounds it by the registered page count instead.
+func (k *KSM) compactUnstable() {
+	pm := k.host.Phys()
+	for sum, bucket := range k.unstable {
+		kept := bucket[:0]
+		for _, ent := range bucket {
+			pte, ok := ent.key.vm.ResidentPTE(ent.key.vpn)
+			if !ok || pm.IsKSM(pte.Frame) || pm.Checksum(pte.Frame) != ent.checksum {
+				k.unstableN--
+				continue
+			}
+			kept = append(kept, ent)
+		}
+		if len(kept) == 0 {
+			delete(k.unstable, sum)
+		} else {
+			k.unstable[sum] = kept
+		}
+	}
+}
+
+// scanPage runs the merge pipeline on one candidate page. It reports whether
+// the volatility gate skipped the page (it was seen changing), which
+// incremental mode uses to schedule the revisit that a linear pass would get
+// for free; callers in linear mode ignore the result.
+func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) bool {
 	pm := k.host.Phys()
 	pte, ok := vm.ResidentPTE(vpn)
 	if !ok {
 		k.stats.NotResident++
-		return
+		return false
 	}
 	frame := pte.Frame
 	if pm.IsKSM(frame) {
 		k.stats.AlreadyShared++
-		return
+		return false
 	}
 	if pte.Huge {
-		k.scanHugePage(vm, vpn, frame)
-		return
+		return k.scanHugePage(vm, vpn, frame)
 	}
 
 	key := pageKey{vm: vm, vpn: vpn}
@@ -428,7 +801,7 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) {
 		k.checksums[key] = sum
 		if !seen || last != sum {
 			k.stats.ChecksumSkips++
-			return
+			return true
 		}
 	}
 
@@ -437,13 +810,18 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) {
 		pm.IncRef(stableFrame)
 		vm.RemapShared(vpn, stableFrame)
 		k.stats.StableMerges++
-		return
+		return false
 	}
 
 	// Unstable index.
 	bucket := k.unstable[sum]
+	selfSeen := false
 	for bi, ent := range bucket {
 		if ent.key == key {
+			// The retained index of incremental mode can already hold this
+			// page from an earlier round (a linear pass drops the index
+			// before a page is ever revisited, so this never fires there).
+			selfSeen = true
 			continue
 		}
 		otherPTE, ok := ent.key.vm.ResidentPTE(ent.key.vpn)
@@ -486,10 +864,13 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) {
 		bucket = append(bucket[:bi], bucket[bi+1:]...)
 		k.unstable[sum] = bucket
 		k.unstableN--
-		return
+		return false
 	}
-	k.unstable[sum] = append(bucket, unstableEntry{key: key, checksum: sum})
-	k.unstableN++
+	if !selfSeen {
+		k.unstable[sum] = append(bucket, unstableEntry{key: key, checksum: sum})
+		k.unstableN++
+	}
+	return false
 }
 
 // scanHugePage handles a candidate covered by a transparent huge mapping.
@@ -497,11 +878,11 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) {
 // merging). With it, the scanner checks whether the subpage's content
 // duplicates a stable page or a still-valid unstable candidate; a verified
 // duplicate splits the huge mapping and the page re-enters the normal merge
-// pipeline immediately.
-func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.FrameID) {
+// pipeline immediately. Like scanPage it reports a volatility-gate skip.
+func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.FrameID) bool {
 	if !k.cfg.SplitHugePages {
 		k.stats.HugeSkips++
-		return
+		return false
 	}
 	pm := k.host.Phys()
 	sum := pm.Checksum(frame)
@@ -514,16 +895,19 @@ func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.Fram
 		k.checksums[key] = sum
 		if !seen || last != sum {
 			k.stats.ChecksumSkips++
-			return
+			return true
 		}
 	}
 	key := pageKey{vm: vm, vpn: vpn}
 	dup := false
+	selfSeen := false
 	if _, hit := k.stable.lookup(frame); hit {
 		dup = true
 	} else {
 		for _, ent := range k.unstable[sum] {
 			if ent.key == key {
+				// Retained-index revisit, as in scanPage.
+				selfSeen = true
 				continue
 			}
 			otherFrame, ok := ent.key.vm.ResolveResident(ent.key.vpn)
@@ -542,15 +926,17 @@ func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.Fram
 		// find each other otherwise; when a later scan matches this entry,
 		// both sides are split and merged (the partner-huge path in
 		// scanPage).
-		k.unstable[sum] = append(k.unstable[sum], unstableEntry{key: key, checksum: sum})
-		k.unstableN++
-		return
+		if !selfSeen {
+			k.unstable[sum] = append(k.unstable[sum], unstableEntry{key: key, checksum: sum})
+			k.unstableN++
+		}
+		return false
 	}
 	vm.SplitHuge(mem.HugeAlign(vpn))
 	k.stats.HugeSplits++
 	// The mapping is base-grained now; rescan so the duplicate merges in
 	// this same visit (the gate entry written above lets it through).
-	k.scanPage(vm, vpn)
+	return k.scanPage(vm, vpn)
 }
 
 // Instrument registers the scanner's telemetry gauges on the registry.
@@ -602,13 +988,36 @@ func (k *KSM) Instrument(r *metrics.Registry) {
 	r.Gauge("ksm.pass.sharing_lost_pages", func() float64 {
 		return float64(k.stats.HugeSkips - k.passStart.HugeSkips)
 	})
+	r.Gauge("ksm.dirty_ring_depth", func() float64 {
+		depth := 0
+		seen := make(map[*hypervisor.VMProcess]struct{}, len(k.regions))
+		for _, reg := range k.regions {
+			if _, dup := seen[reg.VM]; dup {
+				continue
+			}
+			seen[reg.VM] = struct{}{}
+			depth += reg.VM.DirtyLogDepth()
+		}
+		return float64(depth)
+	})
+	r.Gauge("ksm.dirty_ring_overflows", func() float64 { return float64(k.stats.RingOverflows) })
+	r.Gauge("ksm.dirty_drained", func() float64 { return float64(k.stats.DirtyDrained) })
+	r.Gauge("ksm.pages_scanned_incremental", func() float64 {
+		return float64(k.stats.IncrementalScanned)
+	})
+	r.Gauge("ksm.pages_scanned_full", func() float64 {
+		return float64(k.stats.PagesScanned - k.stats.IncrementalScanned)
+	})
+	r.Gauge("ksm.incremental_rounds", func() float64 { return float64(k.stats.IncrementalRounds) })
 }
 
 // onCOWBreak keeps break statistics; frame lifecycle is handled by refcounts
-// and the end-of-pass prune.
+// and the stale-stable prune (end of pass, or the next incremental round —
+// a break on a KSM frame may have orphaned it, so the round must look).
 func (k *KSM) onCOWBreak(_ *hypervisor.VMProcess, _ mem.VPN, old mem.FrameID) {
 	if k.host.Phys().IsKSM(old) {
 		k.stats.COWBreaks++
+		k.stableDirty = true
 	}
 }
 
@@ -642,4 +1051,14 @@ func (k *KSM) Unmerge() {
 	k.unstable = make(map[uint64][]unstableEntry)
 	k.unstableN = 0
 	k.checksums = make(map[pageKey]uint64)
+	// Unmerging invalidates everything incremental mode assumed converged:
+	// fall back to linear scanning and earn the switch again.
+	k.incremental = false
+	k.fullStreak = 0
+	k.incQueue = nil
+	k.incPending = nil
+	k.incPendingSet = nil
+	k.needFull = make(map[*hypervisor.VMProcess]bool)
+	k.ringVM = nil
+	k.stableDirty = false
 }
