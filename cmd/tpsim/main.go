@@ -7,11 +7,13 @@
 //	tpsim [-scale N] [-seed S] [-quick] [-jobs N] <experiment> [...]
 //
 // Experiments: table1 table2 table3 table4 fig2 fig3a fig3b fig3c fig4
-// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff dirtylog chaos, or "all"
-// (which runs everything except dirtylog and chaos). fig2/fig3a share one
-// run, as do fig4/fig5a; requesting either id prints that part. The -chaos
-// flag appends the chaos sweep; -chaos-seed fixes its fault schedule;
-// -incremental turns on dirty-ring incremental KSM rescans.
+// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff dirtylog chaos datacenter,
+// or "all" (which runs everything except dirtylog, chaos and datacenter).
+// fig2/fig3a share one run, as do fig4/fig5a; requesting either id prints
+// that part. The -chaos flag appends the chaos sweep; -chaos-seed fixes its
+// (and the datacenter sweep's) fault schedule; -incremental turns on
+// dirty-ring incremental KSM rescans; -datacenter appends the multi-host
+// placement × live-migration sweep sized by -hosts and -net-gbps.
 //
 // Independent cluster runs (sweep points, error-bar repetitions, the
 // experiments of "all") fan out across -jobs workers. Results are collected
@@ -40,13 +42,19 @@ func main() {
 	thpFlag := flag.String("thp", "never", "transparent huge page policy: never|madvise|always")
 	thpKSMSplit := flag.Bool("thp-ksm-split", false, "let KSM split huge pages over verified duplicate content")
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos sweep (guest kills, demand spikes, KSM stalls)")
-	chaosSeed := flag.Uint64("chaos-seed", 0, "fault schedule seed for -chaos (fixed seed = byte-identical output)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "fault schedule seed for -chaos and -datacenter (fixed seed = byte-identical output)")
 	incremental := flag.Bool("incremental", false, "enable dirty-ring incremental KSM rescans on every cluster")
+	dcFlag := flag.Bool("datacenter", false, "run the multi-host placement × live-migration sweep")
+	hosts := flag.Int("hosts", 0, "host count for -datacenter (0 = 3)")
+	netGbps := flag.Float64("net-gbps", 0, "migration link rate in Gb/s for -datacenter (0 = 10)")
 	flag.Usage = usage
 	flag.Parse()
 	ids := flag.Args()
 	if *chaos {
 		ids = append(ids, "chaos")
+	}
+	if *dcFlag {
+		ids = append(ids, "datacenter")
 	}
 	if len(ids) == 0 {
 		usage()
@@ -67,6 +75,8 @@ func main() {
 		THPKSMSplit:     *thpKSMSplit,
 		ChaosSeed:       *chaosSeed,
 		IncrementalScan: *incremental,
+		DCHosts:         *hosts,
+		NetGbps:         *netGbps,
 	}
 	asCSV = *csv
 	showTimeline = *timeline
@@ -84,7 +94,8 @@ func usage() {
 
 usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] [-timeline] [-metrics-csv]
              [-thp never|madvise|always] [-thp-ksm-split] [-incremental]
-             [-chaos] [-chaos-seed S] <experiment>...
+             [-chaos] [-chaos-seed S] [-datacenter] [-hosts N] [-net-gbps G]
+             <experiment>...
 
 experiments:
   table1..table4   the paper's configuration tables
@@ -99,8 +110,9 @@ experiments:
   thp-tradeoff     THP policy sweep: huge-page coverage vs KSM sharing
   dirtylog         converged KSM rescan cost: linear vs dirty-ring incremental
   chaos            fault-injection sweep: kills/restarts, demand spikes, stalls
+  datacenter       multi-host sweep: placement × migration protocol under faults
   check            evaluate every paper claim on quick runs (self-test)
-  all              everything above except dirtylog and chaos
+  all              everything above except dirtylog, chaos and datacenter
 
 -thp applies a huge-page policy to the paper experiments themselves
 (thp-tradeoff sweeps its own policies and ignores the flag).
@@ -108,6 +120,11 @@ experiments:
 experiments (dirtylog sweeps both modes itself and ignores the flag).
 -chaos appends the chaos experiment to the requested list (it is not part
 of "all"); -chaos-seed drives its deterministic fault schedule.
+-datacenter appends the multi-host sweep: guests placed round-robin vs by
+content-fingerprint similarity, live-migrated with a naive byte-copy vs the
+content-addressed descriptor protocol, under host kills and drains. -hosts
+sizes the cluster and -net-gbps the migration link; -chaos-seed drives its
+fault schedule too.
 `)
 }
 
@@ -162,6 +179,13 @@ func chaosText(f core.ChaosFigure) string {
 		return core.ChaosFigureTable(f).CSV()
 	}
 	return core.RenderChaosFigure(f) + "\n"
+}
+
+func datacenterText(f core.DatacenterFigure) string {
+	if asCSV {
+		return core.DatacenterFigureTable(f).CSV()
+	}
+	return core.RenderDatacenterFigure(f) + "\n"
 }
 
 func dirtyLogText(f core.DirtyLogFigure) string {
@@ -261,6 +285,8 @@ func renderFigure(id string, opts core.Options) (string, error) {
 		return dirtyLogText(core.DirtyLogSweep(opts)), nil
 	case "chaos":
 		return chaosText(core.Chaos(opts)), nil
+	case "datacenter":
+		return datacenterText(core.Datacenter(opts)), nil
 	case "check":
 		out, ok := core.RunClaims(opts)
 		if !ok {

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/placement"
 	"repro/internal/workload"
 )
@@ -26,16 +27,16 @@ func main() {
 	fmt.Println("Fingerprinting each VM (solo warm-up run, page-content checksums)...")
 	reqs := make([]placement.Request, len(specs))
 	for i, s := range specs {
-		reqs[i] = placement.Request{Spec: s, Fingerprint: placement.FingerprintSpec(s, false, scale, 0)}
+		reqs[i] = placement.Request{Spec: s, Fingerprint: core.FingerprintSpec(s, false, scale, 0)}
 		fmt.Printf("  %-16s fingerprint: %6d distinct pages\n", s.Name, len(reqs[i].Fingerprint))
 	}
 
 	fmt.Println("\n--- Round-robin placement (content-blind) onto 3 hosts ---")
-	rr := placement.Evaluate(reqs, placement.RoundRobin(len(reqs), 3), false, scale, 0)
+	rr := core.EvaluatePlacement(reqs, placement.RoundRobin(len(reqs), 3), false, scale, 0)
 	fmt.Print(rr)
 
 	fmt.Println("\n--- Memory Buddies placement (fingerprint similarity) ---")
-	smart := placement.Evaluate(reqs, placement.BySimilarity(reqs, 3, 2), false, scale, 0)
+	smart := core.EvaluatePlacement(reqs, placement.BySimilarity(reqs, 3, 2), false, scale, 0)
 	fmt.Print(smart)
 
 	fmt.Printf("\nSmart colocation recovers %.0f MB more than round-robin (%.0f vs %.0f).\n",

@@ -3,6 +3,7 @@ package tpsim
 import (
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/dump"
 	"repro/internal/placement"
 	"repro/internal/trace"
@@ -36,7 +37,7 @@ type PlacementRequest = placement.Request
 // FingerprintWorkload runs a workload solo and fingerprints its memory
 // content for similarity-based placement.
 func FingerprintWorkload(spec WorkloadSpec, shared bool, scale int, seed Seed) placement.Fingerprint {
-	return placement.FingerprintSpec(spec, shared, scale, seed)
+	return core.FingerprintSpec(spec, shared, scale, seed)
 }
 
 // PlaceRoundRobin spreads n requests over hosts without content knowledge.
@@ -48,7 +49,7 @@ var PlaceBySimilarity = placement.BySimilarity
 
 // EvaluatePlacement measures a placement end to end (one simulated host per
 // bin, KSM running).
-var EvaluatePlacement = placement.Evaluate
+var EvaluatePlacement = core.EvaluatePlacement
 
 // Experiment timeline (ClusterConfig.EnableTrace).
 

@@ -205,9 +205,13 @@ func (h *chaosHarness) Guests() int         { return h.c.GuestSlots() }
 func (h *chaosHarness) Alive(slot int) bool { return h.c.GuestAlive(slot) }
 
 func (h *chaosHarness) Kill(slot int) {
-	if k := h.c.KillGuest(slot); k != nil {
+	// Detach the kernel from the balloon manager BEFORE the hypervisor
+	// reclaims its pages: a balance pass between teardown and drop would
+	// drive reclaim against a guest whose memory no longer exists.
+	if k := h.c.GuestKernel(slot); k != nil {
 		h.balloon.DropGuest(k)
 	}
+	h.c.KillGuest(slot)
 	h.leakCheck()
 }
 

@@ -363,6 +363,12 @@ func (c *Cluster) GuestAlive(i int) bool { return c.guests[i].alive }
 // slot restarts).
 func (c *Cluster) GuestVM(i int) *hypervisor.VMProcess { return c.guests[i].vm }
 
+// GuestKernel returns slot i's guest kernel, or nil if the slot is dead.
+// Callers that must detach a guest from host-side daemons (balloon managers)
+// before tearing its pages down fetch the kernel through this while the
+// guest is still alive.
+func (c *Cluster) GuestKernel(i int) *guestos.Kernel { return c.guests[i].kernel }
+
 // KillGuest tears down slot i's guest end to end: the scanner and THP daemon
 // drop its regions, the hypervisor reclaims every frame and swap slot, and
 // the kernel and workers leave the cluster's index-parallel lists (keeping

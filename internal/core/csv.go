@@ -84,6 +84,26 @@ func ChaosFigureTable(f ChaosFigure) *report.Table {
 	return t
 }
 
+// DatacenterFigureTable flattens the datacenter sweep result.
+func DatacenterFigureTable(f DatacenterFigure) *report.Table {
+	t := &report.Table{
+		Title: f.ID,
+		Headers: []string{"hosts", "guests", "placement", "migration", "migrations",
+			"aborted", "precopy_rounds", "wire_mb", "downtime_max_ms", "host_kills",
+			"host_drains", "guest_kills", "guest_restarts", "leak_checks",
+			"leak_failures", "served", "blocked", "cluster_ksm_mb"},
+	}
+	for _, r := range f.Rows {
+		t.AddRow(r.Hosts, r.Guests, r.Placement, r.Migration, r.Migrations,
+			r.Aborted, r.PrecopyRounds, r.WireMB, r.DowntimeMaxMs,
+			fmt.Sprint(r.HostKills), fmt.Sprint(r.HostDrains),
+			fmt.Sprint(r.GuestKills), r.GuestRestarts, r.LeakChecks,
+			r.LeakFailures, fmt.Sprint(r.Served), fmt.Sprint(r.Blocked),
+			r.ClusterSavingMB)
+	}
+	return t
+}
+
 // DirtyLogFigureTable flattens the dirtylog sweep result.
 func DirtyLogFigureTable(f DirtyLogFigure) *report.Table {
 	t := &report.Table{

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datacenter"
+	"repro/internal/workload"
+)
+
+// datacenterTestOptions shrinks the sweep for test time: small horizon,
+// fixed fault seed.
+func datacenterTestOptions(jobs int) Options {
+	return Options{Scale: 48, Quick: true, Jobs: jobs, ChaosSeed: 4242}
+}
+
+// TestDatacenterFigureDeterministicAcrossJobs renders the sweep at three
+// worker-pool widths and requires byte-identical output — the per-host
+// figures may not depend on scheduling.
+func TestDatacenterFigureDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep")
+	}
+	base := RenderDatacenterFigure(Datacenter(datacenterTestOptions(1)))
+	for _, jobs := range []int{2, 8} {
+		got := RenderDatacenterFigure(Datacenter(datacenterTestOptions(jobs)))
+		if got != base {
+			t.Fatalf("output diverged between -jobs 1 and -jobs %d:\n%s\n----\n%s", jobs, base, got)
+		}
+	}
+	if !strings.Contains(base, "similarity") || !strings.Contains(base, "content") {
+		t.Fatalf("sweep missing expected rows:\n%s", base)
+	}
+}
+
+// TestDatacenterSweepInvariants checks the sweep's acceptance criteria on
+// one run: migrations happen when enabled, no leak check ever fails, and
+// the content protocol moves at least 5× fewer bytes than naive byte-copy
+// on the seed-heavy workload.
+func TestDatacenterSweepInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep")
+	}
+	fig := Datacenter(datacenterTestOptions(0))
+	if len(fig.Rows) != 6 {
+		t.Fatalf("want 6 cells, got %d", len(fig.Rows))
+	}
+	moved := false
+	for _, r := range fig.Rows {
+		if r.LeakFailures != 0 {
+			t.Errorf("%s/%s: %d leak failures", r.Placement, r.Migration, r.LeakFailures)
+		}
+		if r.LeakChecks == 0 {
+			t.Errorf("%s/%s: leak invariant never ran", r.Placement, r.Migration)
+		}
+		if r.Served == 0 {
+			t.Errorf("%s/%s: no traffic served", r.Placement, r.Migration)
+		}
+		if r.Migration == "off" && r.Migrations != 0 {
+			t.Errorf("%s/off migrated %d times", r.Placement, r.Migrations)
+		}
+		if r.Migration != "off" && r.Migrations > 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("no cell with migration enabled actually migrated")
+	}
+}
+
+// TestDatacenterContentBeatsNaive is the wire-bill acceptance criterion at
+// the core layer: one deliberate migration of a Tuscany guest between twin
+// hosts, measured in both protocols.
+func TestDatacenterContentBeatsNaive(t *testing.T) {
+	bytesFor := func(m datacenter.MigrationMode) int64 {
+		dc := datacenter.New(datacenter.Config{
+			Scale:         48,
+			Hosts:         2,
+			Guests:        4,
+			Specs:         []workload.Spec{workload.Tuscany()},
+			SharedClasses: true,
+			SharedAOT:     true,
+			Migration:     m,
+			BaseSeed:      7,
+		})
+		g := dc.GuestSlots()[0]
+		if !dc.Migrate(g, 1-g.HostIndex()) {
+			t.Fatalf("%v migration failed", m)
+		}
+		if st := dc.Stats(); st.LeakFailures != 0 {
+			t.Fatalf("%v: leak failures: %v", m, dc.LeakError())
+		}
+		return dc.Net.Stats().TotalBytes()
+	}
+	naive := bytesFor(datacenter.MigrationNaive)
+	content := bytesFor(datacenter.MigrationContent)
+	if content <= 0 || naive <= 0 {
+		t.Fatalf("no traffic recorded: naive=%d content=%d", naive, content)
+	}
+	if naive < 5*content {
+		t.Fatalf("content mode moved %d bytes vs naive %d — less than 5× saving", content, naive)
+	}
+}

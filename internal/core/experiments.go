@@ -50,6 +50,13 @@ type Options struct {
 	// every cluster the experiment builds (tpsim -incremental). The zero
 	// value keeps the linear scanner and all figures byte-identical.
 	IncrementalScan bool
+	// DCHosts is the datacenter sweep's host count (tpsim -hosts, 0 = 3).
+	// Only the datacenter experiment reads it.
+	DCHosts int
+	// NetGbps is the datacenter sweep's migration link rate
+	// (tpsim -net-gbps, 0 = 10 Gb/s). Only the datacenter experiment
+	// reads it.
+	NetGbps float64
 }
 
 func (o Options) scale() int {

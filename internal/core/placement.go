@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+// Memory Buddies end-to-end evaluation. The pure placement algorithms
+// (fingerprints, round-robin, similarity packing) live in
+// internal/placement; this file owns the parts that need a simulated
+// cluster — fingerprinting a live workload and measuring a placement's
+// real TPS outcome — so the placement package stays free of core and the
+// datacenter scheduler can import it without a cycle.
+
+// FingerprintSpec runs one VM of the given workload solo (no KSM, ample
+// host memory) and fingerprints its guest memory.
+func FingerprintSpec(spec workload.Spec, shared bool, scale int, seed mem.Seed) placement.Fingerprint {
+	c := BuildCluster(ClusterConfig{
+		Scale:         scale,
+		Specs:         []workload.Spec{spec},
+		NumVMs:        1,
+		SharedClasses: shared,
+		DisableKSM:    true,
+		BaseSeed:      seed,
+		SteadyRounds:  10,
+	})
+	c.Run()
+	fp := make(placement.Fingerprint)
+	vm := c.Host.VMs()[0]
+	pm := c.Host.Phys()
+	for _, reg := range vm.MergeableRegions() {
+		for vpn := reg.Start; vpn < reg.End; vpn++ {
+			if f, ok := vm.ResolveResident(vpn); ok {
+				fp[pm.Checksum(f)] = struct{}{}
+			}
+		}
+	}
+	return fp
+}
+
+// PlacementHostResult is one host's measured memory outcome.
+type PlacementHostResult struct {
+	HostIndex  int
+	Workloads  []string
+	UsedMB     float64
+	SavedMB    float64
+	GuestCount int
+}
+
+// PlacementEvalResult is the end-to-end outcome of a placement.
+type PlacementEvalResult struct {
+	Hosts        []PlacementHostResult
+	TotalUsedMB  float64
+	TotalSavedMB float64
+}
+
+// EvaluatePlacement builds one simulated host per placement bin, runs it
+// to steady state with KSM, and measures real usage and savings.
+func EvaluatePlacement(reqs []placement.Request, pl placement.Placement, shared bool, scale int, seed mem.Seed) PlacementEvalResult {
+	var res PlacementEvalResult
+	for h, bin := range pl {
+		if len(bin) == 0 {
+			continue
+		}
+		specs := make([]workload.Spec, 0, len(bin))
+		names := make([]string, 0, len(bin))
+		for _, i := range bin {
+			specs = append(specs, reqs[i].Spec)
+			names = append(names, reqs[i].Spec.Name)
+		}
+		sort.Strings(names)
+		c := BuildCluster(ClusterConfig{
+			Scale:         scale,
+			Specs:         specs,
+			NumVMs:        len(specs),
+			SharedClasses: shared,
+			BaseSeed:      mem.Combine(seed, mem.Seed(h+1)),
+			SteadyRounds:  15,
+		})
+		c.Run()
+		a := c.Analyze()
+		hr := PlacementHostResult{HostIndex: h, Workloads: names, GuestCount: len(specs)}
+		for _, b := range a.VMBreakdowns() {
+			hr.UsedMB += float64(b.Total()*int64(scale)) / (1 << 20)
+			hr.SavedMB += float64(b.SavingsBytes*int64(scale)) / (1 << 20)
+		}
+		res.Hosts = append(res.Hosts, hr)
+		res.TotalUsedMB += hr.UsedMB
+		res.TotalSavedMB += hr.SavedMB
+	}
+	return res
+}
+
+// String renders the result compactly.
+func (r PlacementEvalResult) String() string {
+	s := ""
+	for _, h := range r.Hosts {
+		s += fmt.Sprintf("host %d: %v — used %.0f MB, TPS saved %.0f MB\n", h.HostIndex, h.Workloads, h.UsedMB, h.SavedMB)
+	}
+	s += fmt.Sprintf("TOTAL used %.0f MB, saved %.0f MB\n", r.TotalUsedMB, r.TotalSavedMB)
+	return s
+}

@@ -1,0 +1,893 @@
+// Package datacenter models a multi-host cluster built from the simulator's
+// single-host pieces: every host is a full hypervisor + KSM + THP + balloon
+// stack on one shared virtual clock, a scheduler places and rebalances
+// guests under a diurnal traffic curve, and a live-migration engine moves
+// guests between hosts with iterative pre-copy.
+//
+// The migration wire protocol is the paper's transparent-page-sharing idea
+// turned inside out: instead of merging identical pages after the fact, the
+// engine transfers content *descriptors* (zero / generator-seed / blob
+// checksum, 16 bytes each — mem.ExportedPage). A page whose content the
+// destination host has already seen costs only its descriptor; literal page
+// bytes cross the wire only when the content is genuinely new there. On the
+// seed-heavy guests this repository models (identical kernels, identical
+// class caches), that cuts migration traffic by well over the 5× the
+// datacenter sweep asserts.
+package datacenter
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/balloon"
+	"repro/internal/cds"
+	"repro/internal/classlib"
+	"repro/internal/faults"
+	"repro/internal/guestos"
+	"repro/internal/hypervisor"
+	"repro/internal/jvm"
+	"repro/internal/ksm"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+	"repro/internal/simclock"
+	"repro/internal/thp"
+	"repro/internal/workload"
+)
+
+// Platform constants, duplicated from internal/core (which imports this
+// package, so the dependency cannot point the other way): the Table I
+// BladeCenter LS21 host and the calibrated guest kernel sizing.
+const (
+	hostRAMBytes           = int64(6) << 30
+	hostKernelReserveBytes = int64(1280) << 20
+	guestKernelVersion     = "2.6.18-194.3.1.el5debug"
+	guestOverheadBytes     = int64(24) << 20
+	kernelTextBytes        = int64(16) << 20
+	kernelDataBytes        = int64(30) << 20
+	kernelSlabBytes        = int64(50) << 20
+	cachePath              = "/opt/middleware/javasharedresources/classCache"
+)
+
+// MigrationMode selects the live-migration wire protocol.
+type MigrationMode int
+
+const (
+	// MigrationOff disables migration: drains expire unserved and dead
+	// guests restart from scratch on another host.
+	MigrationOff MigrationMode = iota
+	// MigrationNaive transfers every page as descriptor + full literal
+	// bytes — the classic pre-copy byte-copy baseline.
+	MigrationNaive
+	// MigrationContent transfers descriptors always and literal bytes only
+	// for content the destination has never seen (mem.ImportCopy).
+	MigrationContent
+)
+
+func (m MigrationMode) String() string {
+	switch m {
+	case MigrationOff:
+		return "off"
+	case MigrationNaive:
+		return "naive"
+	case MigrationContent:
+		return "content"
+	}
+	return fmt.Sprintf("MigrationMode(%d)", int(m))
+}
+
+// PlacementPolicy selects the initial guest placement.
+type PlacementPolicy int
+
+const (
+	// PlaceRoundRobin spreads guests without looking at content.
+	PlaceRoundRobin PlacementPolicy = iota
+	// PlaceBySimilarity fingerprints each workload solo and packs guests
+	// with overlapping memory content onto the same hosts (Memory Buddies),
+	// so KSM has identical pages to merge. Migration targets are scored the
+	// same way.
+	PlaceBySimilarity
+)
+
+func (p PlacementPolicy) String() string {
+	if p == PlaceBySimilarity {
+		return "similarity"
+	}
+	return "roundrobin"
+}
+
+// Config describes one datacenter run.
+type Config struct {
+	// Scale divides all byte quantities, as in core.ClusterConfig (0 = 16).
+	Scale int
+	// Hosts is the number of physical hosts (0 = 3).
+	Hosts int
+	// GuestsPerHost caps how many guests the scheduler packs per host
+	// (0 = 4).
+	GuestsPerHost int
+	// Guests is the number of guest slots (0 = 2×Hosts). Each slot runs
+	// Specs[slot%len(Specs)].
+	Guests int
+	// Specs lists the workloads (required).
+	Specs []workload.Spec
+	// SharedClasses enables the paper's §4 class cache on every guest.
+	SharedClasses bool
+	// SharedAOT additionally populates and serves hot-method code from the
+	// cache's AOT section (requires SharedClasses). Because AOT code pages
+	// are cache file pages, they are byte-identical across guests of one
+	// workload — which also makes them free on the migration wire once the
+	// destination holds a sibling guest.
+	SharedAOT bool
+	// Placement is the initial packing policy.
+	Placement PlacementPolicy
+	// Migration selects the wire protocol (MigrationOff disables moves).
+	Migration MigrationMode
+	// THPPolicy enables per-host huge-page collapse daemons (zero = off).
+	THPPolicy thp.Policy
+
+	// NetGbps is the migration link rate (0 = 10 Gb/s); NetLatency the
+	// per-burst latency (0 = 50 µs).
+	NetGbps    float64
+	NetLatency simclock.Time
+
+	// BaseSeed perturbs every per-guest seed.
+	BaseSeed mem.Seed
+
+	// EnableMetrics attaches a metrics registry at Datacenter.Metrics,
+	// sampling migration, wire and fault series on the shared clock.
+	EnableMetrics bool
+
+	// TrafficTick is the request-batch cadence (0 = 500 ms). Every tick each
+	// running guest serves RequestsPerTick requests scaled by the diurnal
+	// load curve; DayLength is one full day of that curve (0 = 1 min of
+	// virtual time — a compressed million-user day: load swings between 25 %
+	// in the trough and 100 % at the peak).
+	TrafficTick     simclock.Time
+	DayLength       simclock.Time
+	RequestsPerTick int
+
+	// SchedTick is the scheduler cadence (0 = 1 s): ring drains, restarts,
+	// evacuations, pressure rebalancing, ballooning.
+	SchedTick simclock.Time
+	// Horizon is how long Run drives the cluster (0 = 2 min).
+	Horizon simclock.Time
+
+	// MaxPrecopyRounds caps pre-copy iterations before stop-and-copy
+	// (0 = 6); StopCopyPages is the dirty-set size at which the engine
+	// stops copying live and pauses the guest (0 = 32).
+	MaxPrecopyRounds int
+	StopCopyPages    int
+	// MigrateMaxPerTick caps evacuation migrations per scheduler tick
+	// (0 = 2).
+	MigrateMaxPerTick int
+
+	// RestartDelay is how long a guest orphaned by a host failure stays
+	// down before the scheduler reboots it elsewhere (0 = 3 s).
+	RestartDelay simclock.Time
+	// FreeWatermarkBytes triggers pressure rebalancing when a host's free
+	// memory falls below it (0 = 512 pages).
+	FreeWatermarkBytes int64
+
+	// Faults, when non-zero, runs a fault injector against the datacenter
+	// (guest kills, host kills, host drains, scanner stalls) on the shared
+	// clock. The zero value injects nothing.
+	Faults faults.Config
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Scale == 0 {
+		cfg.Scale = 16
+	}
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 3
+	}
+	if cfg.GuestsPerHost == 0 {
+		cfg.GuestsPerHost = 4
+	}
+	if cfg.Guests == 0 {
+		cfg.Guests = 2 * cfg.Hosts
+	}
+	if cfg.TrafficTick == 0 {
+		cfg.TrafficTick = 500 * simclock.Millisecond
+	}
+	if cfg.DayLength == 0 {
+		cfg.DayLength = simclock.Minute
+	}
+	if cfg.RequestsPerTick == 0 {
+		cfg.RequestsPerTick = 4
+	}
+	if cfg.SchedTick == 0 {
+		cfg.SchedTick = simclock.Second
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 2 * simclock.Minute
+	}
+	if cfg.MaxPrecopyRounds == 0 {
+		cfg.MaxPrecopyRounds = 6
+	}
+	if cfg.StopCopyPages == 0 {
+		cfg.StopCopyPages = 32
+	}
+	if cfg.MigrateMaxPerTick == 0 {
+		cfg.MigrateMaxPerTick = 2
+	}
+	if cfg.RestartDelay == 0 {
+		cfg.RestartDelay = 3 * simclock.Second
+	}
+	if cfg.FreeWatermarkBytes == 0 {
+		cfg.FreeWatermarkBytes = 512 * int64(mem.DefaultPageSize)
+	}
+	return cfg
+}
+
+// HostNode is one physical machine: the single-host stack the rest of the
+// repository builds, plus scheduler state.
+type HostNode struct {
+	Index   int
+	Host    *hypervisor.Host
+	Scanner *ksm.KSM
+	// THP is nil unless Config.THPPolicy enables it (the thp API is
+	// nil-safe).
+	THP     *thp.Daemon
+	Balloon *balloon.Manager
+
+	alive    bool
+	draining bool
+	guests   []*Guest // resident guests in arrival order
+
+	MigrationsIn  int
+	MigrationsOut int
+}
+
+// Alive reports whether the host is up.
+func (h *HostNode) Alive() bool { return h.alive }
+
+// Draining reports whether the host is marked for evacuation.
+func (h *HostNode) Draining() bool { return h.draining }
+
+// Guests returns the resident guests in arrival order.
+func (h *HostNode) Guests() []*Guest { return h.guests }
+
+func (h *HostNode) removeGuest(g *Guest) {
+	for i, r := range h.guests {
+		if r == g {
+			h.guests = append(h.guests[:i], h.guests[i+1:]...)
+			return
+		}
+	}
+}
+
+// Guest is one guest slot: a workload identity that survives restarts and
+// migrations while the VM process backing it changes.
+type Guest struct {
+	ID   int
+	Spec workload.Spec
+
+	gen     int
+	host    int // host index, -1 while dead
+	vm      *hypervisor.VMProcess
+	kernel  *guestos.Kernel
+	workers []*workload.Instance
+	alive   bool
+	diedAt  simclock.Time
+	// fp is the slot's content fingerprint in sorted form (similarity
+	// placement only; nil under round-robin).
+	fp placement.SortedFP
+
+	Migrations int
+	Served     int64
+	Blocked    int64
+}
+
+// Alive reports whether the guest is currently running.
+func (g *Guest) Alive() bool { return g.alive }
+
+// HostIndex reports the guest's current host (-1 while dead).
+func (g *Guest) HostIndex() int { return g.host }
+
+// VM returns the VM process currently backing the guest (nil or stale while
+// dead).
+func (g *Guest) VM() *hypervisor.VMProcess { return g.vm }
+
+// Kernel returns the guest kernel (nil while dead).
+func (g *Guest) Kernel() *guestos.Kernel { return g.kernel }
+
+// Stats aggregates datacenter-level events.
+type Stats struct {
+	Migrations        int
+	MigrationsAborted int
+	PrecopyRounds     int   // across completed migrations
+	PagesSent         int64 // page transfers, all rounds, completed or not
+
+	// Import classification of every transferred page (content and naive
+	// modes install identically; only the wire accounting differs).
+	ImportZero int64
+	ImportSeed int64
+	ImportDup  int64
+	ImportCopy int64
+
+	// DowntimeTotal/DowntimeMax is the stop-and-copy pause across completed
+	// migrations: the final dirty set's transfer time.
+	DowntimeTotal simclock.Time
+	DowntimeMax   simclock.Time
+
+	GuestRestarts int // scheduler reboots of dead guests
+
+	LeakChecks   int
+	LeakFailures int
+
+	RequestsServed  int64
+	RequestsBlocked int64
+}
+
+// Datacenter is a running multi-host cluster.
+type Datacenter struct {
+	Cfg   Config
+	Clock *simclock.Clock
+	Net   *Network
+	// Metrics samples cluster-level series (migrations, wire bytes, alive
+	// guests, fault counters) on the shared clock when Config.EnableMetrics
+	// is set; nil otherwise. Sampling is read-only, so figures are
+	// unchanged by it.
+	Metrics *metrics.Registry
+
+	corpus *classlib.Corpus
+	images map[string]*cds.Image
+
+	hosts  []*HostNode
+	guests []*Guest
+
+	injector *faults.Injector
+
+	stats       Stats
+	firstLeak   error
+	provisioned bool
+	end         simclock.Time
+	spiked      []int // host indices holding claimed spike frames
+}
+
+// HostNodes returns the host nodes (dead hosts are replaced in place on
+// restart).
+func (dc *Datacenter) HostNodes() []*HostNode { return dc.hosts }
+
+// GuestSlots returns the guest slots.
+func (dc *Datacenter) GuestSlots() []*Guest { return dc.guests }
+
+// Stats returns the event counters.
+func (dc *Datacenter) Stats() Stats { return dc.stats }
+
+// LeakError returns the first leak-invariant failure, if any.
+func (dc *Datacenter) LeakError() error { return dc.firstLeak }
+
+// ClusterSavedBytes sums KSM savings across the alive hosts.
+func (dc *Datacenter) ClusterSavedBytes() int64 {
+	var total int64
+	for _, h := range dc.hosts {
+		if h.alive {
+			total += h.Scanner.Stats().SavedBytes
+		}
+	}
+	return total
+}
+
+// New assembles the hosts, fingerprints and places the guests, boots them,
+// and runs the provisioning warm-up. The datacenter is then ready for Run.
+func New(cfg Config) *Datacenter {
+	cfg = cfg.withDefaults()
+	if len(cfg.Specs) == 0 {
+		panic("datacenter: no workload specs")
+	}
+	if cfg.Guests > cfg.Hosts*cfg.GuestsPerHost {
+		panic(fmt.Sprintf("datacenter: %d guests exceed %d hosts × %d seats",
+			cfg.Guests, cfg.Hosts, cfg.GuestsPerHost))
+	}
+	dc := &Datacenter{
+		Cfg:    cfg,
+		Clock:  simclock.New(),
+		Net:    NewNetwork(cfg.NetGbps, cfg.NetLatency),
+		corpus: classlib.NewCorpus(jvm.RuntimeVersion, cfg.Scale),
+		images: make(map[string]*cds.Image),
+	}
+	if cfg.EnableMetrics {
+		dc.Metrics = metrics.New(dc.Clock, metrics.Config{})
+		dc.instrument()
+		// Started before the first host boots so the series cover the
+		// provisioning ramp, not just the scheduled run.
+		dc.Metrics.Start()
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		dc.hosts = append(dc.hosts, dc.newHostNode(i))
+	}
+
+	reqs := make([]placement.Request, cfg.Guests)
+	for i := range reqs {
+		reqs[i].Spec = cfg.Specs[i%len(cfg.Specs)]
+	}
+	var sortedFPs map[string]placement.SortedFP
+	var pl placement.Placement
+	if cfg.Placement == PlaceBySimilarity {
+		// One solo fingerprint run per distinct workload, on throwaway
+		// clocks so the shared timeline is untouched.
+		fps := make(map[string]placement.Fingerprint)
+		sortedFPs = make(map[string]placement.SortedFP)
+		for _, spec := range cfg.Specs {
+			if _, ok := fps[spec.Name]; ok {
+				continue
+			}
+			fp := dc.fingerprintSpec(spec)
+			fps[spec.Name] = fp
+			sortedFPs[spec.Name] = fp.Sorted()
+		}
+		for i := range reqs {
+			reqs[i].Fingerprint = fps[reqs[i].Spec.Name]
+		}
+		pl = placement.BySimilarity(reqs, cfg.Hosts, cfg.GuestsPerHost)
+	} else {
+		pl = placement.RoundRobin(cfg.Guests, cfg.Hosts)
+	}
+
+	assigned := make([]int, cfg.Guests)
+	for h, bin := range pl {
+		for _, i := range bin {
+			assigned[i] = h
+		}
+	}
+	for i := 0; i < cfg.Guests; i++ {
+		g := &Guest{ID: i, Spec: reqs[i].Spec, host: -1}
+		if sortedFPs != nil {
+			g.fp = sortedFPs[g.Spec.Name]
+		}
+		dc.guests = append(dc.guests, g)
+		h := dc.hosts[assigned[i]]
+		dc.bootGuestOn(h, g)
+		// Sequential provisioning: let the host's scanner absorb this boot
+		// before the next guest arrives, as in core.BuildCluster.
+		dc.Clock.RunFor(simclock.Time(dc.hostGuestPages(h)/10000+1) * 100 * simclock.Millisecond)
+	}
+
+	// Warm-up traffic in slices, interleaved with fast scanning, then drop
+	// every scanner to the steady rate.
+	const slices = 2
+	for s := 0; s < slices; s++ {
+		for _, g := range dc.guests {
+			for _, w := range g.workers {
+				n := w.WarmupTarget() / slices
+				if n < 1 {
+					n = 1
+				}
+				w.RunSteadyState(n)
+			}
+		}
+		dc.Clock.RunFor(simclock.Time(dc.totalGuestPages()/10000+1) * 100 * simclock.Millisecond)
+	}
+	for _, h := range dc.hosts {
+		h.Scanner.SetPagesToScan(1000)
+	}
+	dc.provisioned = true
+	return dc
+}
+
+// newHostNode builds one host stack. Hosts created after provisioning
+// (failure restarts) start at the steady scan rate directly.
+func (dc *Datacenter) newHostNode(idx int) *HostNode {
+	cfg := dc.Cfg
+	scale := int64(cfg.Scale)
+	host := hypervisor.NewHost(hypervisor.Config{
+		// Distinct names seed distinct host-kernel reserve content.
+		Name:               fmt.Sprintf("host-%d", idx),
+		RAMBytes:           hostRAMBytes / scale,
+		KernelReserveBytes: hostKernelReserveBytes / scale,
+		DirtyLog:           true,
+	}, dc.Clock)
+	kcfg := ksm.DefaultConfig()
+	kcfg.PagesToScan = 10000
+	if dc.provisioned {
+		kcfg.PagesToScan = 1000
+	}
+	sc := ksm.New(host, kcfg)
+	sc.Start()
+	h := &HostNode{
+		Index:   idx,
+		Host:    host,
+		Scanner: sc,
+		Balloon: balloon.NewManager(host, nil, balloon.Config{}),
+		alive:   true,
+	}
+	if cfg.THPPolicy != thp.PolicyNever {
+		tcfg := thp.DefaultConfig()
+		tcfg.Policy = cfg.THPPolicy
+		h.THP = thp.New(host, tcfg)
+		h.THP.Start()
+	}
+	return h
+}
+
+// bootGuestOn (re)boots a guest slot on the given host, mirroring
+// core.bootGuest: fresh VM process, guest kernel, daemons, workload, then
+// scanner/THP/balloon registration.
+func (dc *Datacenter) bootGuestOn(h *HostNode, g *Guest) {
+	cfg := dc.Cfg
+	scale := int64(cfg.Scale)
+	seed := mem.Combine(cfg.BaseSeed, mem.HashString("guest"), mem.Seed(g.ID+1))
+	if g.gen > 0 {
+		seed = mem.Combine(seed, mem.HashString("restart"), mem.Seed(g.gen))
+	}
+	vmp := h.Host.NewVM(hypervisor.VMConfig{
+		Name:          fmt.Sprintf("guest-%d", g.ID+1),
+		GuestMemBytes: g.Spec.GuestMemBytes / scale,
+		OverheadBytes: guestOverheadBytes / scale,
+		Seed:          seed,
+	})
+	k := guestos.Boot(vmp, guestos.KernelConfig{
+		Version:   guestKernelVersion,
+		TextBytes: kernelTextBytes / scale,
+		DataBytes: kernelDataBytes / scale,
+		SlabBytes: kernelSlabBytes / scale,
+	})
+	dc.spawnDaemons(k)
+	dcfg := workload.DeployConfig{Scale: cfg.Scale, DeferWarmup: true}
+	if cfg.SharedClasses {
+		img := dc.cacheImage(g.Spec)
+		k.FS().Install(&guestos.File{Path: cachePath, Data: img.FileBytes(dc.corpus)})
+		dcfg.SharedClasses = true
+		dcfg.CacheImage = img
+		dcfg.CachePath = cachePath
+		dcfg.SharedAOT = cfg.SharedAOT
+	}
+	w := workload.Deploy(k, dc.corpus, g.Spec, dcfg)
+
+	g.vm = vmp
+	g.kernel = k
+	g.workers = []*workload.Instance{w}
+	g.alive = true
+	g.host = h.Index
+	h.guests = append(h.guests, g)
+	h.Scanner.Register(vmp)
+	h.THP.Register(vmp, true)
+	h.Balloon.AddGuest(k)
+}
+
+// instrument registers datacenter-level gauges on the metrics registry.
+// All probes are read-only views of simulation state, which is what keeps
+// a metrics-on run bit-identical to a metrics-off run.
+func (dc *Datacenter) instrument() {
+	r := dc.Metrics
+	r.Gauge("datacenter.migrations", func() float64 { return float64(dc.stats.Migrations) })
+	r.Gauge("datacenter.migrations_aborted", func() float64 { return float64(dc.stats.MigrationsAborted) })
+	r.Gauge("datacenter.pages_sent", func() float64 { return float64(dc.stats.PagesSent) })
+	r.Gauge("datacenter.wire_bytes", func() float64 { return float64(dc.Net.Stats().TotalBytes()) })
+	r.Gauge("datacenter.requests_served", func() float64 { return float64(dc.stats.RequestsServed) })
+	r.Gauge("datacenter.requests_blocked", func() float64 { return float64(dc.stats.RequestsBlocked) })
+	r.Gauge("datacenter.guests_alive", func() float64 {
+		alive := 0
+		for _, g := range dc.guests {
+			if g.alive {
+				alive++
+			}
+		}
+		return float64(alive)
+	})
+	r.Gauge("datacenter.hosts_alive", func() float64 {
+		alive := 0
+		for _, h := range dc.hosts {
+			if h.alive {
+				alive++
+			}
+		}
+		return float64(alive)
+	})
+	r.Gauge("datacenter.cluster_saved_bytes", func() float64 {
+		return float64(dc.ClusterSavedBytes())
+	})
+}
+
+// cacheImage returns the cold-run class cache for a workload, built once
+// per cache name and installed into every guest — §4.B's "copy the file to
+// all of the VMs".
+func (dc *Datacenter) cacheImage(spec workload.Spec) *cds.Image {
+	if img, ok := dc.images[spec.CacheName]; ok {
+		return img
+	}
+	var img *cds.Image
+	if dc.Cfg.SharedAOT {
+		img = workload.BuildCacheAOT(dc.corpus, spec, dc.Cfg.Scale, 20)
+	} else {
+		img = workload.BuildCache(dc.corpus, spec, dc.Cfg.Scale)
+	}
+	dc.images[spec.CacheName] = img
+	return img
+}
+
+// spawnDaemons creates the guest's small native processes, as in
+// core.spawnDaemons.
+func (dc *Datacenter) spawnDaemons(k *guestos.Kernel) {
+	scale := int64(dc.Cfg.Scale)
+	ps := int64(k.PageSize())
+	for _, name := range []string{"init", "sshd", "syslogd"} {
+		binPath := "/sbin/" + name
+		f, ok := k.FS().Lookup(binPath)
+		if !ok {
+			size := (3 << 20) / scale
+			if size < ps {
+				size = ps
+			}
+			f = k.FS().InstallGenerated(binPath, "rhel5.5", size)
+		}
+		p := k.Spawn(name, false)
+		v := p.MapFile(f, 0, 0, "daemon-code", binPath)
+		p.TouchAll(v, false)
+		anonPages := int(((2 << 20) / scale) / ps)
+		if anonPages < 1 {
+			anonPages = 1
+		}
+		av := p.MapAnon(anonPages, "daemon-anon", name+"-heap")
+		for vpn := av.Start; vpn < av.End; vpn++ {
+			p.FillPage(vpn, mem.Combine(p.Seed(), mem.Seed(vpn)))
+		}
+	}
+}
+
+// fingerprintSpec runs one VM of the workload solo on a throwaway host and
+// clock (no KSM) and fingerprints its resident guest memory — the Memory
+// Buddies content summary the similarity placer and the migration target
+// scorer use.
+func (dc *Datacenter) fingerprintSpec(spec workload.Spec) placement.Fingerprint {
+	cfg := dc.Cfg
+	scale := int64(cfg.Scale)
+	clock := simclock.New()
+	host := hypervisor.NewHost(hypervisor.Config{
+		Name:               "fingerprint",
+		RAMBytes:           hostRAMBytes / scale,
+		KernelReserveBytes: hostKernelReserveBytes / scale,
+	}, clock)
+	seed := mem.Combine(cfg.BaseSeed, mem.HashString("fingerprint"), mem.HashString(spec.Name))
+	vmp := host.NewVM(hypervisor.VMConfig{
+		Name:          "fp " + spec.Name,
+		GuestMemBytes: spec.GuestMemBytes / scale,
+		OverheadBytes: guestOverheadBytes / scale,
+		Seed:          seed,
+	})
+	k := guestos.Boot(vmp, guestos.KernelConfig{
+		Version:   guestKernelVersion,
+		TextBytes: kernelTextBytes / scale,
+		DataBytes: kernelDataBytes / scale,
+		SlabBytes: kernelSlabBytes / scale,
+	})
+	dc.spawnDaemons(k)
+	dcfg := workload.DeployConfig{Scale: cfg.Scale, DeferWarmup: true}
+	if cfg.SharedClasses {
+		img := dc.cacheImage(spec)
+		k.FS().Install(&guestos.File{Path: cachePath, Data: img.FileBytes(dc.corpus)})
+		dcfg.SharedClasses = true
+		dcfg.CacheImage = img
+		dcfg.CachePath = cachePath
+		dcfg.SharedAOT = cfg.SharedAOT
+	}
+	w := workload.Deploy(k, dc.corpus, spec, dcfg)
+	w.RunSteadyState(w.WarmupTarget())
+	clock.RunFor(simclock.Second)
+
+	fp := make(placement.Fingerprint)
+	pm := host.Phys()
+	for _, reg := range vmp.MergeableRegions() {
+		for vpn := reg.Start; vpn < reg.End; vpn++ {
+			if f, ok := vmp.ResolveResident(vpn); ok {
+				fp[pm.Checksum(f)] = struct{}{}
+			}
+		}
+	}
+	return fp
+}
+
+// hostGuestPages sums the guest pages resident on one host.
+func (dc *Datacenter) hostGuestPages(h *HostNode) int {
+	total := 0
+	for _, vm := range h.Host.VMs() {
+		if vm.Alive() {
+			total += vm.GuestPages()
+		}
+	}
+	return total
+}
+
+// totalGuestPages sums guest pages across alive hosts.
+func (dc *Datacenter) totalGuestPages() int {
+	total := 0
+	for _, h := range dc.hosts {
+		if h.alive {
+			total += dc.hostGuestPages(h)
+		}
+	}
+	return total
+}
+
+// checkLeaks runs the host's leak invariant with its scanner's stable tree
+// as external references, recording rather than failing.
+func (dc *Datacenter) checkLeaks(h *HostNode) {
+	if !h.alive {
+		return
+	}
+	dc.stats.LeakChecks++
+	if err := h.Host.CheckLeaks(h.Scanner.StableFrames()); err != nil {
+		dc.stats.LeakFailures++
+		if dc.firstLeak == nil {
+			dc.firstLeak = fmt.Errorf("host %d: %w", h.Index, err)
+		}
+	}
+}
+
+// killGuest tears down a running guest in leak-safe order: the balloon
+// manager forgets the kernel BEFORE its pages vanish, then the scanner and
+// THP daemon drop the VM's regions, then the hypervisor reclaims every
+// frame and swap slot.
+func (dc *Datacenter) killGuest(g *Guest) {
+	if !g.alive {
+		return
+	}
+	h := dc.hosts[g.host]
+	h.Balloon.DropGuest(g.kernel)
+	h.Scanner.Unregister(g.vm)
+	h.THP.Unregister(g.vm)
+	h.Host.KillVM(g.vm)
+	h.removeGuest(g)
+	g.alive = false
+	g.host = -1
+	g.kernel = nil
+	g.workers = nil
+	g.diedAt = dc.Clock.Now()
+	dc.checkLeaks(h)
+}
+
+// restartGuest reboots a dead guest on the most suitable alive host. It
+// reports false when no host has a free seat.
+func (dc *Datacenter) restartGuest(g *Guest) bool {
+	h := dc.pickBootHost()
+	if h == nil {
+		return false
+	}
+	g.gen++
+	dc.bootGuestOn(h, g)
+	dc.stats.GuestRestarts++
+	return true
+}
+
+// pickBootHost chooses the alive, non-draining host with a free seat and
+// the most free memory (ties to the lowest index).
+func (dc *Datacenter) pickBootHost() *HostNode {
+	var best *HostNode
+	var bestFree int64
+	for _, h := range dc.hosts {
+		if !h.alive || h.draining || len(h.guests) >= dc.Cfg.GuestsPerHost {
+			continue
+		}
+		free := h.Host.FreeBytes()
+		if best == nil || free > bestFree {
+			best, bestFree = h, free
+		}
+	}
+	return best
+}
+
+// --- faults.Target ---
+
+// Guests reports the number of guest slots.
+func (dc *Datacenter) Guests() int { return len(dc.guests) }
+
+// Alive reports whether a slot's guest is running.
+func (dc *Datacenter) Alive(slot int) bool { return dc.guests[slot].alive }
+
+// Kill tears down a slot's guest.
+func (dc *Datacenter) Kill(slot int) { dc.killGuest(dc.guests[slot]) }
+
+// Restart reboots a killed slot wherever the scheduler would place it.
+func (dc *Datacenter) Restart(slot int) {
+	g := dc.guests[slot]
+	if g.alive {
+		return
+	}
+	dc.restartGuest(g)
+}
+
+// DemandSpike applies memory pressure to the most loaded (least free) alive
+// host: balloon reclaim first, then frame claims backed by eviction.
+func (dc *Datacenter) DemandSpike(pages int) faults.SpikeOutcome {
+	var victim *HostNode
+	var victimFree int64
+	for _, h := range dc.hosts {
+		if !h.alive {
+			continue
+		}
+		free := h.Host.FreeBytes()
+		if victim == nil || free < victimFree {
+			victim, victimFree = h, free
+		}
+	}
+	var out faults.SpikeOutcome
+	if victim == nil {
+		return out
+	}
+	out.BalloonPages = victim.Balloon.ReclaimPages(pages)
+	out.ClaimedPages = victim.Host.ClaimFrames(pages)
+	dc.spiked = append(dc.spiked, victim.Index)
+	return out
+}
+
+// ReleaseSpike returns all claimed spike frames on the hosts that hold
+// them.
+func (dc *Datacenter) ReleaseSpike() {
+	for _, idx := range dc.spiked {
+		h := dc.hosts[idx]
+		if h.alive {
+			h.Host.ReleaseClaimed()
+		}
+	}
+	dc.spiked = dc.spiked[:0]
+}
+
+// StallScanner suspends every alive host's KSM daemon for d.
+func (dc *Datacenter) StallScanner(d simclock.Time) {
+	for _, h := range dc.hosts {
+		if h.alive {
+			h.Scanner.Stall(d)
+		}
+	}
+}
+
+// --- faults.HostTarget ---
+
+// Hosts reports the number of host slots.
+func (dc *Datacenter) Hosts() int { return len(dc.hosts) }
+
+// HostAlive reports whether a host is up.
+func (dc *Datacenter) HostAlive(h int) bool { return dc.hosts[h].alive }
+
+// KillHost fails a host outright: the machine loses power, every resident
+// guest dies with it, and the host object — frames, swap, scanner state —
+// is discarded wholesale. Nothing is torn down gracefully; that is the
+// point of the fault.
+func (dc *Datacenter) KillHost(idx int) {
+	h := dc.hosts[idx]
+	if !h.alive {
+		return
+	}
+	// Stop the daemons' clock tickers so they never scan the discarded
+	// state again.
+	h.Scanner.Stop()
+	h.THP.Stop()
+	now := dc.Clock.Now()
+	for _, g := range h.guests {
+		g.alive = false
+		g.host = -1
+		g.kernel = nil
+		g.workers = nil
+		g.diedAt = now
+	}
+	h.guests = nil
+	h.alive = false
+	h.draining = false
+}
+
+// RestartHost brings a failed host back: fresh machine, same name, empty.
+func (dc *Datacenter) RestartHost(idx int) {
+	if dc.hosts[idx].alive {
+		return
+	}
+	dc.hosts[idx] = dc.newHostNode(idx)
+}
+
+// DrainHost marks a host for evacuation; the scheduler migrates its guests
+// away (when migration is enabled).
+func (dc *Datacenter) DrainHost(idx int) {
+	if dc.hosts[idx].alive {
+		dc.hosts[idx].draining = true
+	}
+}
+
+// UndrainHost returns a drained host to service.
+func (dc *Datacenter) UndrainHost(idx int) { dc.hosts[idx].draining = false }
+
+// sortGPFNs sorts a dirty-page set ascending for a deterministic send
+// order.
+func sortGPFNs(gpfns []uint64) {
+	sort.Slice(gpfns, func(i, j int) bool { return gpfns[i] < gpfns[j] })
+}

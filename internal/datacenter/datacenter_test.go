@@ -1,0 +1,282 @@
+package datacenter
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// testScale keeps the simulated machines small enough for fast tests.
+const testScale = 48
+
+func testConfig() Config {
+	return Config{
+		Scale:         testScale,
+		Hosts:         2,
+		Guests:        2,
+		Specs:         []workload.Spec{workload.DayTrader()},
+		SharedClasses: true,
+		Migration:     MigrationContent,
+		BaseSeed:      7,
+	}
+}
+
+// TestMigrationMovesGuestIntact live-migrates a quiesced guest and checks
+// the destination holds byte-identical guest memory, both hosts pass the
+// leak invariant, and the engine converged in two rounds (full copy + empty
+// stop-and-copy).
+func TestMigrationMovesGuestIntact(t *testing.T) {
+	dc := New(testConfig())
+	g := dc.guests[0]
+	src := g.host
+	dst := 1 - src
+
+	before := make(map[uint64]uint64)
+	for _, gpfn := range g.vm.MappedGuestPages() {
+		if e, ok := g.vm.ExportGuestPage(gpfn); ok {
+			before[gpfn] = e.Sum
+		}
+	}
+	if len(before) == 0 {
+		t.Fatal("guest has no mapped pages")
+	}
+
+	if !dc.migrate(g, dst) {
+		t.Fatal("migration failed")
+	}
+	st := dc.Stats()
+	if st.Migrations != 1 || st.MigrationsAborted != 0 {
+		t.Fatalf("stats = %+v, want 1 completed migration", st)
+	}
+	if g.host != dst || !g.alive {
+		t.Fatalf("guest on host %d alive=%v, want host %d alive", g.host, g.alive, dst)
+	}
+	if g.kernel.VM() != g.vm {
+		t.Fatal("guest kernel not re-targeted to the destination VM")
+	}
+	// A quiesced guest dirties nothing between rounds: round 1 sends all,
+	// round 2 sends the empty dirty set during the pause.
+	if st.PrecopyRounds != 2 {
+		t.Errorf("PrecopyRounds = %d, want 2", st.PrecopyRounds)
+	}
+	if st.DowntimeMax <= 0 {
+		t.Error("no downtime recorded")
+	}
+	if st.LeakFailures != 0 {
+		t.Fatalf("leak failures: %v", dc.LeakError())
+	}
+
+	for gpfn, want := range before {
+		e, ok := g.vm.ExportGuestPage(gpfn)
+		if !ok {
+			t.Fatalf("gpfn %d unmapped on destination", gpfn)
+		}
+		if e.Sum != want {
+			t.Fatalf("gpfn %d checksum changed across migration", gpfn)
+		}
+	}
+	// The workload must still run on the destination.
+	for _, w := range g.workers {
+		w.RunSteadyState(4)
+	}
+	if err := dc.hosts[dst].Host.CheckLeaks(dc.hosts[dst].Scanner.StableFrames()); err != nil {
+		t.Fatalf("destination leaks after post-migration traffic: %v", err)
+	}
+}
+
+// TestContentMigrationBeatsNaive is the wire-protocol acceptance criterion:
+// on a seed-heavy workload, content-addressed pre-copy must move at least 5×
+// fewer bytes than the naive byte-copy baseline. Tuscany with the shared
+// class cache and AOT code is the seed-heavy case: most of its footprint is
+// generator-seeded kernel/daemon memory (16-byte descriptors on the wire)
+// and cache file pages the destination's sibling guests already hold
+// (deduplicated on arrival); only genuinely private JVM state — heap
+// objects, RAMClass, session buffers — still travels as literal bytes.
+func TestContentMigrationBeatsNaive(t *testing.T) {
+	bytesFor := func(mode MigrationMode) int64 {
+		cfg := testConfig()
+		cfg.Specs = []workload.Spec{workload.Tuscany()}
+		cfg.SharedAOT = true
+		cfg.Guests = 4
+		cfg.Migration = mode
+		dc := New(cfg)
+		g := dc.guests[0]
+		if !dc.migrate(g, 1-g.host) {
+			t.Fatalf("%v migration failed", mode)
+		}
+		return dc.Net.Stats().TotalBytes()
+	}
+	naive := bytesFor(MigrationNaive)
+	content := bytesFor(MigrationContent)
+	if content <= 0 || naive <= 0 {
+		t.Fatalf("no traffic recorded: naive=%d content=%d", naive, content)
+	}
+	if naive < 5*content {
+		t.Fatalf("content mode moved %d bytes vs naive %d — less than 5× saving", content, naive)
+	}
+}
+
+// TestKillSourceHostMidPrecopy fails the source host while the first
+// pre-copy burst is on the wire (satellite: the abort path must leave no
+// residue). The guest dies with its host, the half-built destination VM is
+// torn down leak-free, and the scheduler later reboots the guest on the
+// surviving host.
+func TestKillSourceHostMidPrecopy(t *testing.T) {
+	dc := New(testConfig())
+	g := dc.guests[0]
+	src := g.host
+	dst := 1 - src
+
+	// The first burst's flight time is at least the 50 µs link latency, so
+	// an event 10 µs in lands mid-transfer.
+	dc.Clock.Schedule(10*simclock.Microsecond, func(simclock.Time) {
+		dc.KillHost(src)
+	})
+	if dc.migrate(g, dst) {
+		t.Fatal("migration reported success with a dead source")
+	}
+	st := dc.Stats()
+	if st.MigrationsAborted != 1 || st.Migrations != 0 {
+		t.Fatalf("stats = %+v, want 1 aborted migration", st)
+	}
+	if g.alive {
+		t.Fatal("guest survived its host's death")
+	}
+	// The destination keeps its own resident guest; only the half-built
+	// migration target (which shares the migrating guest's name) must be
+	// gone.
+	for _, vm := range dc.hosts[dst].Host.VMs() {
+		if vm.Alive() && vm.Name() == "guest-1" {
+			t.Fatalf("destination VM %s not torn down after abort", vm.Name())
+		}
+	}
+	if err := dc.hosts[dst].Host.CheckLeaks(dc.hosts[dst].Scanner.StableFrames()); err != nil {
+		t.Fatalf("destination leaks after abort: %v", err)
+	}
+
+	// The scheduler reboots the orphan once RestartDelay passes.
+	dc.Clock.RunFor(dc.Cfg.RestartDelay)
+	dc.schedulerTick(dc.Clock.Now())
+	if !g.alive || g.host != dst {
+		t.Fatalf("guest alive=%v host=%d, want rebooted on host %d", g.alive, g.host, dst)
+	}
+	if st := dc.Stats(); st.LeakFailures != 0 {
+		t.Fatalf("leak failures: %v", dc.LeakError())
+	}
+}
+
+// TestKillDestHostDuringStopAndCopy fails the destination while the final
+// (stop-and-copy) burst is in flight: the source guest must resume serving
+// and stay leak-free.
+func TestKillDestHostDuringStopAndCopy(t *testing.T) {
+	cfg := testConfig()
+	// One round means the engine pauses the guest immediately: the kill
+	// lands during the downtime window.
+	cfg.MaxPrecopyRounds = 1
+	dc := New(cfg)
+	g := dc.guests[0]
+	src := g.host
+	dst := 1 - src
+
+	dc.Clock.Schedule(10*simclock.Microsecond, func(simclock.Time) {
+		dc.KillHost(dst)
+	})
+	if dc.migrate(g, dst) {
+		t.Fatal("migration reported success with a dead destination")
+	}
+	if !g.alive || g.host != src {
+		t.Fatalf("guest alive=%v host=%d, want still on source %d", g.alive, g.host, src)
+	}
+	if g.vm.Paused() {
+		t.Fatal("source VM left paused after abort")
+	}
+	for _, w := range g.workers {
+		w.RunSteadyState(4)
+	}
+	if err := dc.hosts[src].Host.CheckLeaks(dc.hosts[src].Scanner.StableFrames()); err != nil {
+		t.Fatalf("source leaks after abort: %v", err)
+	}
+}
+
+// TestDrainEvacuatesViaMigration runs the full loop: a drained host's
+// guests move off it through the scheduler, leak-free.
+func TestDrainEvacuatesViaMigration(t *testing.T) {
+	cfg := testConfig()
+	cfg.Hosts = 2
+	cfg.Guests = 2
+	cfg.Horizon = 20 * simclock.Second
+	dc := New(cfg)
+
+	occupied := -1
+	for i, h := range dc.hosts {
+		if len(h.guests) > 0 {
+			occupied = i
+			break
+		}
+	}
+	dc.DrainHost(occupied)
+	dc.Run()
+
+	st := dc.Stats()
+	if st.Migrations == 0 {
+		t.Fatal("drain produced no migrations")
+	}
+	if len(dc.hosts[occupied].guests) != 0 {
+		t.Fatalf("drained host still has %d guests", len(dc.hosts[occupied].guests))
+	}
+	if st.LeakFailures != 0 {
+		t.Fatalf("leak failures: %v", dc.LeakError())
+	}
+	if st.RequestsServed == 0 {
+		t.Fatal("no traffic served")
+	}
+}
+
+// TestDatacenterDeterminism runs the same faulted configuration twice and
+// requires identical stats, wire traffic and cluster-wide sharing.
+func TestDatacenterDeterminism(t *testing.T) {
+	run := func(enableMetrics bool) (Stats, NetworkStats, faults.Stats, int64) {
+		cfg := testConfig()
+		cfg.Hosts = 3
+		cfg.Guests = 3
+		cfg.Horizon = 30 * simclock.Second
+		cfg.EnableMetrics = enableMetrics
+		cfg.Faults = faults.Config{
+			Seed:           99,
+			Horizon:        30 * simclock.Second,
+			KillEvery:      11 * simclock.Second,
+			HostKillEvery:  13 * simclock.Second,
+			HostDrainEvery: 9 * simclock.Second,
+			StallEvery:     7 * simclock.Second,
+		}
+		dc := New(cfg)
+		dc.Run()
+		if enableMetrics {
+			if dc.Metrics == nil || dc.Metrics.Ticks() == 0 {
+				t.Fatal("metrics enabled but never sampled")
+			}
+		}
+		return dc.Stats(), dc.Net.Stats(), dc.InjectorStats(), dc.ClusterSavedBytes()
+	}
+	s1, n1, f1, saved1 := run(false)
+	// The second run samples metrics throughout: identical figures prove
+	// both determinism and that sampling is read-only.
+	s2, n2, f2, saved2 := run(true)
+	if s1 != s2 {
+		t.Errorf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if n1 != n2 {
+		t.Errorf("network stats diverged:\n%+v\n%+v", n1, n2)
+	}
+	if f1 != f2 {
+		t.Errorf("fault stats diverged:\n%+v\n%+v", f1, f2)
+	}
+	if saved1 != saved2 {
+		t.Errorf("cluster savings diverged: %d vs %d", saved1, saved2)
+	}
+	if s1.LeakFailures != 0 {
+		t.Errorf("leak failures under faults: %d", s1.LeakFailures)
+	}
+}

@@ -1,0 +1,168 @@
+package datacenter
+
+import (
+	"fmt"
+
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+)
+
+// migrate live-migrates a guest to the host at dstIdx with iterative
+// pre-copy driven by the source VM's dirty ring:
+//
+//  1. create the destination VM process (a fresh memslot on the target
+//     host; it joins the destination's KSM scan list only at cutover);
+//  2. send every mapped guest page, then repeatedly re-send only the pages
+//     the guest re-dirtied while the previous round was on the wire;
+//  3. when the dirty set shrinks to StopCopyPages — or MaxPrecopyRounds is
+//     exhausted — pause the guest, send the final set, and cut over. The
+//     downtime is exactly that final transfer's wire time.
+//
+// Pages travel as content descriptors (mem.ExportedPage): zero and
+// generator-seeded pages are 16-byte descriptors in every mode, and under
+// MigrationContent a blob whose checksum the destination's content store
+// already holds is deduplicated on arrival (mem.ImportDup) and costs no
+// literal bytes. MigrationNaive installs identically but charges the wire
+// for descriptor + full page every time, so the two modes end in the same
+// memory state and differ only in bytes-on-wire and therefore time.
+//
+// Every Clock.RunFor while a burst is in flight can fire traffic (the guest
+// keeps dirtying pages — that is what pre-copy iterates against) and fault
+// events (a host can die mid-flight). After each burst the engine
+// re-validates source, destination and guest; any casualty aborts the
+// migration, tears down the half-built destination VM, and resumes the
+// source if it was already paused.
+// Migrate triggers one deliberate live migration of guest g to the host at
+// dstIdx, outside the scheduler's own rebalancing. It reports whether the
+// guest cut over (false = aborted and unwound).
+func (dc *Datacenter) Migrate(g *Guest, dstIdx int) bool { return dc.migrate(g, dstIdx) }
+
+func (dc *Datacenter) migrate(g *Guest, dstIdx int) bool {
+	cfg := dc.Cfg
+	src := dc.hosts[g.host]
+	dst := dc.hosts[dstIdx]
+	srcVM := g.vm
+	scale := int64(cfg.Scale)
+
+	dstVM := dst.Host.NewVM(hypervisor.VMConfig{
+		Name:          srcVM.Name(),
+		GuestMemBytes: g.Spec.GuestMemBytes / scale,
+		OverheadBytes: guestOverheadBytes / scale,
+		Seed:          srcVM.Seed(),
+	})
+
+	srcVM.ResetDirtyLog()
+	pending := srcVM.MappedGuestPages()
+	rounds := 0
+	for {
+		rounds++
+		last := len(pending) <= cfg.StopCopyPages || rounds >= cfg.MaxPrecopyRounds
+		if last {
+			srcVM.Pause()
+		}
+
+		var descBytes, pageBytes int64
+		for _, gpfn := range pending {
+			e, ok := srcVM.ExportGuestPage(gpfn)
+			if !ok {
+				continue // unmapped since the set was built
+			}
+			cls := dstVM.InstallGuestPage(gpfn, e)
+			switch cls {
+			case mem.ImportZero:
+				dc.stats.ImportZero++
+			case mem.ImportSeed:
+				dc.stats.ImportSeed++
+			case mem.ImportDup:
+				dc.stats.ImportDup++
+			case mem.ImportCopy:
+				dc.stats.ImportCopy++
+			}
+			descBytes += DescriptorBytes
+			if cfg.Migration == MigrationNaive || cls == mem.ImportCopy {
+				pageBytes += int64(dst.Host.PageSize())
+			}
+			dc.stats.PagesSent++
+		}
+		dc.Net.Record(descBytes, pageBytes)
+		t := dc.Net.TransferTime(descBytes + pageBytes)
+		dc.Clock.RunFor(t)
+
+		// The burst's flight time may have killed the source host, the
+		// destination host, or the guest itself.
+		if !src.alive || !dst.alive || !g.alive || !srcVM.Alive() || !dstVM.Alive() {
+			dc.abortMigration(g, src, dst, srcVM, dstVM)
+			return false
+		}
+
+		if last {
+			dc.stats.DowntimeTotal += t
+			if t > dc.stats.DowntimeMax {
+				dc.stats.DowntimeMax = t
+			}
+			dc.cutover(g, src, dst, srcVM, dstVM)
+			dc.stats.Migrations++
+			dc.stats.PrecopyRounds += rounds
+			g.Migrations++
+			src.MigrationsOut++
+			dst.MigrationsIn++
+			return true
+		}
+
+		dirty, overflow := srcVM.DrainDirtyLog()
+		if overflow {
+			// The ring lost entries; conservatively resend everything.
+			pending = srcVM.MappedGuestPages()
+			continue
+		}
+		pending = pending[:0]
+		base := srcVM.MemslotBase()
+		for _, vpn := range dirty {
+			pending = append(pending, uint64(vpn-base))
+		}
+		sortGPFNs(pending)
+	}
+}
+
+// abortMigration unwinds a failed migration: the half-populated destination
+// VM is destroyed (if its host still exists) and the source resumes serving
+// (if it still exists and was already paused).
+func (dc *Datacenter) abortMigration(g *Guest, src, dst *HostNode, srcVM, dstVM *hypervisor.VMProcess) {
+	dc.stats.MigrationsAborted++
+	if dst.alive && dstVM.Alive() {
+		dst.Host.KillVM(dstVM)
+		dc.checkLeaks(dst)
+	}
+	if src.alive && g.alive && srcVM.Alive() && srcVM.Paused() {
+		srcVM.Resume()
+	}
+}
+
+// cutover switches the guest from the source VM to the fully-populated
+// destination VM. Teardown on the source follows the leak-safe order
+// (balloon forgets the kernel first, then scanner and THP unhook, then the
+// hypervisor reclaims), the guest kernel re-targets the new machine, and
+// the destination registers with its host's daemons. Both hosts must pass
+// the leak invariant afterwards.
+func (dc *Datacenter) cutover(g *Guest, src, dst *HostNode, srcVM, dstVM *hypervisor.VMProcess) {
+	if got, want := dstVM.GuestPages(), srcVM.GuestPages(); got != want {
+		panic(fmt.Sprintf("datacenter: cutover size mismatch: %d != %d", got, want))
+	}
+	src.Balloon.DropGuest(g.kernel)
+	src.Scanner.Unregister(srcVM)
+	src.THP.Unregister(srcVM)
+	src.Host.KillVM(srcVM)
+	src.removeGuest(g)
+
+	g.kernel.Migrate(dstVM)
+	g.vm = dstVM
+	g.host = dst.Index
+	dst.guests = append(dst.guests, g)
+	dstVM.ResetDirtyLog()
+	dst.Scanner.Register(dstVM)
+	dst.THP.Register(dstVM, true)
+	dst.Balloon.AddGuest(g.kernel)
+
+	dc.checkLeaks(src)
+	dc.checkLeaks(dst)
+}

@@ -1,0 +1,73 @@
+package datacenter
+
+import "repro/internal/simclock"
+
+// Wire-format constants. A page descriptor carries a kind tag, a content
+// checksum, and the guest frame number — 16 bytes on the wire. Naive
+// migration moves the same header plus the full page for every page;
+// content-addressed migration moves the header always and the page bytes
+// only when the destination has never seen the content.
+const (
+	// DescriptorBytes is the per-page wire header (kind + checksum + gpfn).
+	DescriptorBytes = 16
+)
+
+// Network is the simulated migration fabric: a shared full-duplex link
+// model with fixed bandwidth and per-transfer latency. Transfers are
+// serialized by the callers (one migration at a time per engine), so the
+// model needs no queueing — TransferTime answers how long a burst of
+// bytes occupies the wire.
+type Network struct {
+	bitsPerMicro int64 // link rate in bits per simulated microsecond
+	latency      simclock.Time
+
+	stats NetworkStats
+}
+
+// NetworkStats aggregates wire traffic.
+type NetworkStats struct {
+	Transfers int64 // bursts sent (pre-copy rounds + final stop-and-copy)
+	DescBytes int64 // descriptor header bytes
+	PageBytes int64 // literal page-content bytes
+}
+
+// TotalBytes is all bytes that crossed the wire.
+func (s NetworkStats) TotalBytes() int64 { return s.DescBytes + s.PageBytes }
+
+// NewNetwork builds a link of the given rate. gbps ≤ 0 defaults to
+// 10 Gb/s; latency ≤ 0 defaults to 50 µs.
+func NewNetwork(gbps float64, latency simclock.Time) *Network {
+	if gbps <= 0 {
+		gbps = 10
+	}
+	if latency <= 0 {
+		latency = 50 * simclock.Microsecond
+	}
+	// 1 Gb/s = 1000 bits per microsecond. Truncating to integer keeps all
+	// subsequent arithmetic exact, which the cross--jobs determinism
+	// criterion depends on.
+	bpm := int64(gbps * 1000)
+	if bpm < 1 {
+		bpm = 1
+	}
+	return &Network{bitsPerMicro: bpm, latency: latency}
+}
+
+// TransferTime reports how long a burst of bytes occupies the wire:
+// latency plus the serialization delay, rounded up to the clock's
+// microsecond tick.
+func (n *Network) TransferTime(bytes int64) simclock.Time {
+	bits := bytes * 8
+	ser := (bits + n.bitsPerMicro - 1) / n.bitsPerMicro
+	return n.latency + simclock.Time(ser)*simclock.Microsecond
+}
+
+// Record accounts one burst's traffic.
+func (n *Network) Record(descBytes, pageBytes int64) {
+	n.stats.Transfers++
+	n.stats.DescBytes += descBytes
+	n.stats.PageBytes += pageBytes
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() NetworkStats { return n.stats }

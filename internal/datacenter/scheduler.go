@@ -1,0 +1,194 @@
+package datacenter
+
+import (
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/placement"
+	"repro/internal/simclock"
+)
+
+// load is the diurnal traffic curve: a compressed day of DayLength virtual
+// time over which demand swings sinusoidally between 25 % (trough) and
+// 100 % (peak) of RequestsPerTick — the million-user day-night cycle every
+// consumer-facing datacenter schedules around.
+func (dc *Datacenter) load(now simclock.Time) float64 {
+	day := float64(dc.Cfg.DayLength)
+	phase := 2 * math.Pi * float64(now) / day
+	return 0.25 + 0.75*(0.5-0.5*math.Cos(phase))
+}
+
+// trafficTick serves one batch of requests on every running guest. Guests
+// that are dead — or paused for a migration's stop-and-copy — block their
+// batch instead; the blocked count is the run's user-visible unavailability.
+func (dc *Datacenter) trafficTick(now simclock.Time) {
+	n := int(math.Round(float64(dc.Cfg.RequestsPerTick) * dc.load(now)))
+	if n < 1 {
+		n = 1
+	}
+	for _, g := range dc.guests {
+		if !g.alive || g.vm.Paused() {
+			g.Blocked += int64(n)
+			dc.stats.RequestsBlocked += int64(n)
+			continue
+		}
+		for _, w := range g.workers {
+			w.RunSteadyState(n)
+		}
+		g.Served += int64(n)
+		dc.stats.RequestsServed += int64(n)
+	}
+}
+
+// Run drives the datacenter for Cfg.Horizon: traffic on its tick, the
+// scheduler on its tick, the fault injector (if configured) on its own
+// seeded schedule, and a final leak check over every surviving host.
+func (dc *Datacenter) Run() {
+	cfg := dc.Cfg
+	dc.end = dc.Clock.Now() + cfg.Horizon
+	if cfg.Faults != (faults.Config{}) {
+		dc.injector = faults.New(dc.Clock, cfg.Faults, dc)
+		dc.injector.Instrument(dc.Metrics)
+		dc.injector.Start()
+	}
+	end := dc.end
+	dc.Clock.Every(cfg.TrafficTick, func(now simclock.Time) bool {
+		if now > end {
+			return false
+		}
+		dc.trafficTick(now)
+		return true
+	})
+	for dc.Clock.Now() < end {
+		next := dc.Clock.Now() + cfg.SchedTick
+		if next > end {
+			next = end
+		}
+		dc.Clock.RunUntil(next)
+		dc.schedulerTick(dc.Clock.Now())
+	}
+	dc.ReleaseSpike()
+	for _, h := range dc.hosts {
+		dc.checkLeaks(h)
+	}
+}
+
+// InjectorStats returns the fault injector's event counts (zero value when
+// no faults were configured).
+func (dc *Datacenter) InjectorStats() faults.Stats {
+	if dc.injector == nil {
+		return faults.Stats{}
+	}
+	return dc.injector.Stats()
+}
+
+// schedulerTick is one pass of the placement/rebalancing loop:
+//
+//  1. drain every running guest's dirty ring, feeding the working-set EWMA
+//     that cold-guest decisions (balloon, migration victims) use;
+//  2. reboot guests orphaned by host failures once RestartDelay has passed;
+//  3. evacuate draining hosts via live migration;
+//  4. relieve memory pressure by migrating the coldest guest off any host
+//     below the free watermark;
+//  5. let each host's balloon manager inflate or deflate.
+func (dc *Datacenter) schedulerTick(now simclock.Time) {
+	cfg := dc.Cfg
+
+	for _, g := range dc.guests {
+		if g.alive && !g.vm.Paused() {
+			vpns, _ := g.vm.DrainDirtyLog()
+			g.vm.ObserveDirtyDrain(len(vpns))
+		}
+	}
+
+	for _, g := range dc.guests {
+		if !g.alive && now-g.diedAt >= cfg.RestartDelay {
+			dc.restartGuest(g)
+		}
+	}
+
+	if cfg.Migration != MigrationOff {
+		for _, h := range dc.hosts {
+			if !h.alive || !h.draining || len(h.guests) == 0 {
+				continue
+			}
+			moved := 0
+			// h.guests shrinks as migrations complete; always evacuate the
+			// current head.
+			for moved < cfg.MigrateMaxPerTick && len(h.guests) > 0 {
+				g := h.guests[0]
+				dst := dc.pickMigrationTarget(g, h.Index)
+				if dst < 0 || !dc.migrate(g, dst) {
+					break
+				}
+				moved++
+			}
+		}
+
+		for _, h := range dc.hosts {
+			if !h.alive || h.draining || len(h.guests) < 2 {
+				continue
+			}
+			if h.Host.FreeBytes() >= cfg.FreeWatermarkBytes {
+				continue
+			}
+			g := coldestGuest(h)
+			if g == nil {
+				continue
+			}
+			if dst := dc.pickMigrationTarget(g, h.Index); dst >= 0 {
+				dc.migrate(g, dst)
+			}
+		}
+	}
+
+	for _, h := range dc.hosts {
+		if h.alive {
+			h.Balloon.Balance()
+			h.Balloon.Deflate()
+		}
+	}
+}
+
+// coldestGuest picks the resident guest with the smallest working-set
+// estimate; guests without an estimate are treated as hot. Ties keep
+// arrival order. Returns nil when every guest is estimate-less.
+func coldestGuest(h *HostNode) *Guest {
+	var best *Guest
+	bestWS := int(^uint(0) >> 1)
+	for _, g := range h.guests {
+		if ws, ok := g.vm.WorkingSetPages(); ok && ws < bestWS {
+			best, bestWS = g, ws
+		}
+	}
+	return best
+}
+
+// pickMigrationTarget chooses where to move a guest: among alive,
+// non-draining hosts with a free seat (excluding the source), the
+// similarity policy scores each candidate by the fingerprint overlap with
+// its resident guests — colocating mergeable content, exactly as at initial
+// placement — and other policies take the most free memory. Ties fall to
+// free memory and then the lowest index. Returns -1 when no host can take
+// the guest.
+func (dc *Datacenter) pickMigrationTarget(g *Guest, srcIdx int) int {
+	best := -1
+	bestScore := -1
+	var bestFree int64
+	for _, h := range dc.hosts {
+		if !h.alive || h.draining || h.Index == srcIdx || len(h.guests) >= dc.Cfg.GuestsPerHost {
+			continue
+		}
+		score := 0
+		if dc.Cfg.Placement == PlaceBySimilarity && g.fp != nil {
+			for _, r := range h.guests {
+				score += placement.Intersect(g.fp, r.fp)
+			}
+		}
+		free := h.Host.FreeBytes()
+		if best < 0 || score > bestScore || (score == bestScore && free > bestFree) {
+			best, bestScore, bestFree = h.Index, score, free
+		}
+	}
+	return best
+}

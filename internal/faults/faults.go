@@ -46,6 +46,20 @@ type Config struct {
 	StallEvery simclock.Time
 	// StallFor is each stall's length (0 = 1 s).
 	StallFor simclock.Time
+
+	// HostKillEvery is the mean gap between host failures (a whole machine
+	// drops, taking every resident guest with it). Fires only against
+	// targets implementing HostTarget; skipped (counted) when at most one
+	// host is alive.
+	HostKillEvery simclock.Time
+	// HostRestartDelay is how long a failed host stays down (0 = 10 s).
+	HostRestartDelay simclock.Time
+
+	// HostDrainEvery is the mean gap between host drain requests
+	// (maintenance: the scheduler must evacuate the host via migration).
+	HostDrainEvery simclock.Time
+	// HostDrainFor is how long a drained host stays out (0 = 20 s).
+	HostDrainFor simclock.Time
 }
 
 func (cfg Config) withDefaults() Config {
@@ -60,6 +74,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.StallFor == 0 {
 		cfg.StallFor = simclock.Second
+	}
+	if cfg.HostRestartDelay == 0 {
+		cfg.HostRestartDelay = 10 * simclock.Second
+	}
+	if cfg.HostDrainFor == 0 {
+		cfg.HostDrainFor = 20 * simclock.Second
 	}
 	return cfg
 }
@@ -96,6 +116,25 @@ type Target interface {
 	StallScanner(d simclock.Time)
 }
 
+// HostTarget is the optional host-level surface of a multi-host target.
+// Single-host targets simply don't implement it and host fault classes
+// never fire against them.
+type HostTarget interface {
+	// Hosts reports the number of host slots (dead or alive).
+	Hosts() int
+	// HostAlive reports whether the slot's host is currently up.
+	HostAlive(h int) bool
+	// KillHost fails the host outright: every resident guest dies with it.
+	KillHost(h int)
+	// RestartHost brings a failed host back, empty.
+	RestartHost(h int)
+	// DrainHost marks the host for evacuation; the scheduler must migrate
+	// its guests away.
+	DrainHost(h int)
+	// UndrainHost returns a drained host to service.
+	UndrainHost(h int)
+}
+
 // Stats counts injected events.
 type Stats struct {
 	Kills         uint64
@@ -107,6 +146,12 @@ type Stats struct {
 	OOMKills      uint64
 	BalloonPages  uint64 // pages recovered via balloon across all spikes
 	ClaimedPages  uint64 // frames claimed from the pool across all spikes
+
+	HostKills         uint64
+	HostKillsSkipped  uint64 // host-kill events with at most one host alive
+	HostRestarts      uint64
+	HostDrains        uint64
+	HostDrainsSkipped uint64 // drain events with no drainable host
 }
 
 // Injector schedules and fires one fault schedule against one target.
@@ -114,15 +159,30 @@ type Injector struct {
 	clock  *simclock.Clock
 	cfg    Config
 	target Target
+	hosts  HostTarget // nil unless the target implements HostTarget
 	rng    splitmix
 	stats  Stats
+
+	// draining tracks hosts this injector has drained and not yet
+	// undrained, so a drain event never picks an already-draining victim.
+	draining map[int]bool
 
 	started bool
 }
 
 // New creates an injector. Call Start to generate and schedule the events.
+// Host-level fault classes activate only when the target also implements
+// HostTarget.
 func New(clock *simclock.Clock, cfg Config, target Target) *Injector {
-	return &Injector{clock: clock, cfg: cfg.withDefaults(), target: target, rng: splitmix{state: cfg.Seed}}
+	hosts, _ := target.(HostTarget)
+	return &Injector{
+		clock:    clock,
+		cfg:      cfg.withDefaults(),
+		target:   target,
+		hosts:    hosts,
+		rng:      splitmix{state: cfg.Seed},
+		draining: make(map[int]bool),
+	}
 }
 
 // Stats returns a snapshot of event counters.
@@ -140,6 +200,10 @@ func (in *Injector) Start() {
 	in.schedule(in.cfg.KillEvery, in.fireKill)
 	in.schedule(in.cfg.SpikeEvery, in.fireSpike)
 	in.schedule(in.cfg.StallEvery, in.fireStall)
+	if in.hosts != nil {
+		in.schedule(in.cfg.HostKillEvery, in.fireHostKill)
+		in.schedule(in.cfg.HostDrainEvery, in.fireHostDrain)
+	}
 }
 
 // schedule lays out one fault class's arrivals across the horizon.
@@ -200,6 +264,59 @@ func (in *Injector) fireStall(now simclock.Time) {
 	in.stats.Stalls++
 }
 
+// aliveHosts lists up host slots, optionally excluding ones this injector
+// is already draining.
+func (in *Injector) aliveHosts(skipDraining bool) []int {
+	var alive []int
+	for h := 0; h < in.hosts.Hosts(); h++ {
+		if !in.hosts.HostAlive(h) {
+			continue
+		}
+		if skipDraining && in.draining[h] {
+			continue
+		}
+		alive = append(alive, h)
+	}
+	return alive
+}
+
+func (in *Injector) fireHostKill(now simclock.Time) {
+	alive := in.aliveHosts(false)
+	if len(alive) <= 1 {
+		in.stats.HostKillsSkipped++
+		return
+	}
+	victim := alive[in.rng.next()%uint64(len(alive))]
+	in.hosts.KillHost(victim)
+	in.stats.HostKills++
+	in.clock.Schedule(in.cfg.HostRestartDelay, func(simclock.Time) {
+		if in.hosts.HostAlive(victim) {
+			return
+		}
+		in.hosts.RestartHost(victim)
+		in.stats.HostRestarts++
+	})
+}
+
+func (in *Injector) fireHostDrain(now simclock.Time) {
+	// Never drain the last un-drained host: evacuation needs a target.
+	candidates := in.aliveHosts(true)
+	if len(candidates) <= 1 {
+		in.stats.HostDrainsSkipped++
+		return
+	}
+	victim := candidates[in.rng.next()%uint64(len(candidates))]
+	in.draining[victim] = true
+	in.hosts.DrainHost(victim)
+	in.stats.HostDrains++
+	in.clock.Schedule(in.cfg.HostDrainFor, func(simclock.Time) {
+		delete(in.draining, victim)
+		// The host may have died (and even come back) mid-drain; undrain
+		// is idempotent on the target side.
+		in.hosts.UndrainHost(victim)
+	})
+}
+
 // Instrument registers per-event counters as gauges on the registry (the
 // metrics convention for monotone simulator counters). Nil-safe.
 func (in *Injector) Instrument(r *metrics.Registry) {
@@ -214,6 +331,9 @@ func (in *Injector) Instrument(r *metrics.Registry) {
 	r.Gauge("faults.oom_kills", func() float64 { return float64(in.stats.OOMKills) })
 	r.Gauge("faults.balloon_pages", func() float64 { return float64(in.stats.BalloonPages) })
 	r.Gauge("faults.claimed_pages", func() float64 { return float64(in.stats.ClaimedPages) })
+	r.Gauge("faults.host_kills", func() float64 { return float64(in.stats.HostKills) })
+	r.Gauge("faults.host_restarts", func() float64 { return float64(in.stats.HostRestarts) })
+	r.Gauge("faults.host_drains", func() float64 { return float64(in.stats.HostDrains) })
 }
 
 // splitmix is a splitmix64 stream: tiny, seedable, and — unlike the global

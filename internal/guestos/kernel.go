@@ -134,6 +134,20 @@ func Boot(vm Machine, cfg KernelConfig) *Kernel {
 // VM returns the underlying virtual machine.
 func (k *Kernel) VM() Machine { return k.vm }
 
+// Migrate re-points the kernel at a different virtual machine — the
+// destination of a live migration, whose guest physical memory the
+// migration engine has already made byte-identical to the source's. Guest
+// state (page owners, file system, processes, page cache) is guest
+// physical and travels with the memory image, so nothing else changes;
+// every process access funnels through the kernel's vm and follows the
+// switch. The replacement machine must have identical geometry.
+func (k *Kernel) Migrate(vm Machine) {
+	if vm.GuestPages() != len(k.owners) || vm.PageSize() != k.pageSize {
+		panic("guestos: Migrate onto a machine with different memory geometry")
+	}
+	k.vm = vm
+}
+
 // FS returns the guest file system.
 func (k *Kernel) FS() *FS { return k.fs }
 

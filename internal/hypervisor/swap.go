@@ -77,6 +77,17 @@ func (s *swapStore) in(pm *mem.PhysMem, slot uint32, f mem.FrameID) {
 	s.freed = append(s.freed, slot)
 }
 
+// peek returns a slot's content handle without consuming the slot, for
+// read-only export during migration. The handle is borrowed: the slot
+// keeps its reference and the caller must not Release it.
+func (s *swapStore) peek(slot uint32) mem.PageContent {
+	c, ok := s.slots[slot]
+	if !ok {
+		panic("hypervisor: peek at free swap slot")
+	}
+	return c
+}
+
 // drop releases a slot without restoring it (the mapping was unmapped while
 // swapped out).
 func (s *swapStore) drop(pm *mem.PhysMem, slot uint32) {

@@ -49,6 +49,10 @@ type VMProcess struct {
 	// dead marks a process torn down by KillVM. A dead VM owns no frames or
 	// swap slots; touching its memory is a bug and panics.
 	dead bool
+	// paused marks stopped vCPUs during a migration's stop-and-copy phase.
+	// Guest accesses while paused panic; host-side mechanisms (KSM, THP,
+	// balloon, export) keep working, as they do under a real vCPU stop.
+	paused bool
 
 	// dirty is the VM's PML-style dirty-page ring (nil unless the host was
 	// configured with DirtyLog). It records guest frame numbers.
@@ -186,6 +190,9 @@ func (vm *VMProcess) MergeableRegions() []MergeableRegion {
 func (vm *VMProcess) ensureMapped(vpn mem.VPN, forWrite bool) mem.FrameID {
 	if vm.dead {
 		panic(fmt.Sprintf("hypervisor: memory access on killed %s", vm.cfg.Name))
+	}
+	if vm.paused {
+		panic(fmt.Sprintf("hypervisor: guest memory access on paused %s", vm.cfg.Name))
 	}
 	pte, ok := vm.hpt.Lookup(vpn)
 	switch {

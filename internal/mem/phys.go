@@ -320,6 +320,12 @@ func (pm *PhysMem) SetKSM(id FrameID, v bool) {
 	}
 	if v && !f.ksm {
 		pm.ksmFrames++
+		// A stable page's content is host-wide shared content: register it
+		// in the content table so byte-identical imports (migration) and
+		// snapshots attach to it instead of copying.
+		if f.desc.kind == descLiteral {
+			pm.cs.internExisting(f.desc.blob)
+		}
 	} else if !v && f.ksm {
 		pm.ksmFrames--
 	}

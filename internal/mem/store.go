@@ -146,6 +146,25 @@ func (cs *contentStore) release(d desc) {
 	}
 }
 
+// internExisting registers an already-live blob in the content table
+// without copying or taking a reference (the table never owns one; dying
+// blobs remove themselves). Used when a frame becomes a KSM stable page:
+// content the host proved shared should be discoverable by checksum, so
+// imports of byte-identical pages attach instead of copying. A blob whose
+// bytes already have a table entry is left alone.
+func (cs *contentStore) internExisting(b *blob) {
+	if b.interned {
+		return
+	}
+	sum := b.checksum()
+	if cs.lookupInterned(b.data, sum) != nil {
+		return
+	}
+	b.interned = true
+	cs.internedBlobs++
+	cs.table[sum] = append(cs.table[sum], b)
+}
+
 // removeInterned deletes a dying blob from its table bucket.
 func (cs *contentStore) removeInterned(b *blob) {
 	sum := b.checksum()

@@ -7,23 +7,77 @@
 // As in the original system, each VM gets a content fingerprint — here the
 // set of page-content checksums of its guest memory after a solo warm-up
 // run — and a greedy packer collocates VMs with the largest fingerprint
-// intersections. The evaluation then builds one simulated host per bin and
-// measures the real TPS savings, so the comparison with round-robin
-// placement is end to end.
+// intersections. The package holds only the pure placement algorithms;
+// fingerprinting a live workload and evaluating a placement end to end
+// live in internal/core, which owns the simulated clusters.
 package placement
 
 import (
-	"fmt"
 	"sort"
 
-	"repro/internal/core"
-	"repro/internal/mem"
 	"repro/internal/workload"
 )
 
 // Fingerprint is a VM's memory-content summary: the set of page checksums,
 // as Memory Buddies' Bloom-filter fingerprints approximate.
 type Fingerprint map[uint64]struct{}
+
+// SortedFP is a fingerprint in sorted-slice form. Intersections over
+// sorted slices walk both sides once (or gallop when one side is much
+// smaller) instead of probing a hash map per element, and they
+// short-circuit on disjoint checksum ranges — the representation the
+// packer and the datacenter scheduler use on their hot paths.
+type SortedFP []uint64
+
+// Sorted converts the set form to the sorted-slice form.
+func (fp Fingerprint) Sorted() SortedFP {
+	out := make(SortedFP, 0, len(fp))
+	for h := range fp {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Intersect counts the checksums two sorted fingerprints share. Disjoint
+// ranges return immediately; a heavily lopsided pair gallops through the
+// large side by binary search; otherwise a single merge walk does it.
+func Intersect(a, b SortedFP) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 || a[len(a)-1] < b[0] || b[len(b)-1] < a[0] {
+		return 0
+	}
+	n := 0
+	if len(b) >= 32*len(a) {
+		for _, v := range a {
+			i := sort.Search(len(b), func(j int) bool { return b[j] >= v })
+			if i == len(b) {
+				break
+			}
+			if b[i] == v {
+				n++
+				i++
+			}
+			b = b[i:]
+		}
+		return n
+	}
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
 
 // Similarity estimates the shareable pages between two VMs as the
 // fingerprint intersection size.
@@ -38,32 +92,6 @@ func Similarity(a, b Fingerprint) int {
 		}
 	}
 	return n
-}
-
-// FingerprintSpec runs one VM of the given workload solo (no KSM, ample
-// host memory) and fingerprints its guest memory.
-func FingerprintSpec(spec workload.Spec, shared bool, scale int, seed mem.Seed) Fingerprint {
-	c := core.BuildCluster(core.ClusterConfig{
-		Scale:         scale,
-		Specs:         []workload.Spec{spec},
-		NumVMs:        1,
-		SharedClasses: shared,
-		DisableKSM:    true,
-		BaseSeed:      seed,
-		SteadyRounds:  10,
-	})
-	c.Run()
-	fp := make(Fingerprint)
-	vm := c.Host.VMs()[0]
-	pm := c.Host.Phys()
-	for _, reg := range vm.MergeableRegions() {
-		for vpn := reg.Start; vpn < reg.End; vpn++ {
-			if f, ok := vm.ResolveResident(vpn); ok {
-				fp[pm.Checksum(f)] = struct{}{}
-			}
-		}
-	}
-	return fp
 }
 
 // Request is one VM to place.
@@ -88,8 +116,21 @@ func RoundRobin(n, hosts int) Placement {
 // BySimilarity packs requests greedily: each host is seeded with the first
 // unplaced request and filled with the requests whose fingerprints overlap
 // the host's current content the most — Memory Buddies' smart colocation.
+//
+// Candidate similarities are cached and updated incrementally: admitting a
+// member contributes only its delta (the checksums it adds to the host's
+// union) to every remaining candidate, and the deltas partition the host
+// fingerprint, so the cached score always equals the full host-candidate
+// intersection the old quadratic rescan computed. Placements are
+// bit-identical to that reference (same strict-improvement, first-index
+// tie-break), without recomputing every host×candidate pair per seat.
 func BySimilarity(reqs []Request, hosts, perHost int) Placement {
+	fps := make([]SortedFP, len(reqs))
+	for i, r := range reqs {
+		fps[i] = r.Fingerprint.Sorted()
+	}
 	placed := make([]bool, len(reqs))
+	sim := make([]int, len(reqs))
 	pl := make(Placement, hosts)
 	for h := 0; h < hosts; h++ {
 		// Seed with the first unplaced request.
@@ -103,99 +144,42 @@ func BySimilarity(reqs []Request, hosts, perHost int) Placement {
 		if seed < 0 {
 			break
 		}
-		placed[seed] = true
-		pl[h] = append(pl[h], seed)
-		hostFP := cloneFP(reqs[seed].Fingerprint)
+		hostFP := make(Fingerprint)
+		for i := range sim {
+			sim[i] = 0
+		}
+		admit := func(member int) {
+			placed[member] = true
+			pl[h] = append(pl[h], member)
+			delta := make(SortedFP, 0, len(fps[member]))
+			for _, hsh := range fps[member] {
+				if _, ok := hostFP[hsh]; !ok {
+					hostFP[hsh] = struct{}{}
+					delta = append(delta, hsh)
+				}
+			}
+			if len(delta) == 0 {
+				return
+			}
+			for i := range reqs {
+				if !placed[i] {
+					sim[i] += Intersect(delta, fps[i])
+				}
+			}
+		}
+		admit(seed)
 		for len(pl[h]) < perHost {
 			best, bestSim := -1, -1
 			for i := range reqs {
-				if placed[i] {
-					continue
-				}
-				if s := Similarity(hostFP, reqs[i].Fingerprint); s > bestSim {
-					best, bestSim = i, s
+				if !placed[i] && sim[i] > bestSim {
+					best, bestSim = i, sim[i]
 				}
 			}
 			if best < 0 {
 				break
 			}
-			placed[best] = true
-			pl[h] = append(pl[h], best)
-			for hsh := range reqs[best].Fingerprint {
-				hostFP[hsh] = struct{}{}
-			}
+			admit(best)
 		}
 	}
 	return pl
-}
-
-func cloneFP(fp Fingerprint) Fingerprint {
-	out := make(Fingerprint, len(fp))
-	for h := range fp {
-		out[h] = struct{}{}
-	}
-	return out
-}
-
-// HostResult is one host's measured memory outcome.
-type HostResult struct {
-	HostIndex  int
-	Workloads  []string
-	UsedMB     float64
-	SavedMB    float64
-	GuestCount int
-}
-
-// EvalResult is the end-to-end outcome of a placement.
-type EvalResult struct {
-	Hosts        []HostResult
-	TotalUsedMB  float64
-	TotalSavedMB float64
-}
-
-// Evaluate builds one simulated host per placement bin, runs it to steady
-// state with KSM, and measures real usage and savings.
-func Evaluate(reqs []Request, pl Placement, shared bool, scale int, seed mem.Seed) EvalResult {
-	var res EvalResult
-	for h, bin := range pl {
-		if len(bin) == 0 {
-			continue
-		}
-		specs := make([]workload.Spec, 0, len(bin))
-		names := make([]string, 0, len(bin))
-		for _, i := range bin {
-			specs = append(specs, reqs[i].Spec)
-			names = append(names, reqs[i].Spec.Name)
-		}
-		sort.Strings(names)
-		c := core.BuildCluster(core.ClusterConfig{
-			Scale:         scale,
-			Specs:         specs,
-			NumVMs:        len(specs),
-			SharedClasses: shared,
-			BaseSeed:      mem.Combine(seed, mem.Seed(h+1)),
-			SteadyRounds:  15,
-		})
-		c.Run()
-		a := c.Analyze()
-		hr := HostResult{HostIndex: h, Workloads: names, GuestCount: len(specs)}
-		for _, b := range a.VMBreakdowns() {
-			hr.UsedMB += float64(b.Total()*int64(scale)) / (1 << 20)
-			hr.SavedMB += float64(b.SavingsBytes*int64(scale)) / (1 << 20)
-		}
-		res.Hosts = append(res.Hosts, hr)
-		res.TotalUsedMB += hr.UsedMB
-		res.TotalSavedMB += hr.SavedMB
-	}
-	return res
-}
-
-// String renders the result compactly.
-func (r EvalResult) String() string {
-	s := ""
-	for _, h := range r.Hosts {
-		s += fmt.Sprintf("host %d: %v — used %.0f MB, TPS saved %.0f MB\n", h.HostIndex, h.Workloads, h.UsedMB, h.SavedMB)
-	}
-	s += fmt.Sprintf("TOTAL used %.0f MB, saved %.0f MB\n", r.TotalUsedMB, r.TotalSavedMB)
-	return s
 }

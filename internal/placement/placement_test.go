@@ -1,12 +1,9 @@
 package placement
 
 import (
+	"math/rand"
 	"testing"
-
-	"repro/internal/workload"
 )
-
-const scale = 64
 
 func TestSimilarity(t *testing.T) {
 	a := Fingerprint{1: {}, 2: {}, 3: {}}
@@ -30,60 +27,122 @@ func TestRoundRobinSpreads(t *testing.T) {
 	}
 }
 
-func TestFingerprintsDistinguishWorkloads(t *testing.T) {
-	dt1 := FingerprintSpec(workload.DayTrader(), false, scale, 1)
-	dt2 := FingerprintSpec(workload.DayTrader(), false, scale, 2)
-	tus := FingerprintSpec(workload.Tuscany(), false, scale, 3)
-	if len(dt1) == 0 || len(tus) == 0 {
-		t.Fatal("empty fingerprints")
+// randomFP builds a deterministic random fingerprint drawing n checksums
+// from a universe small enough to force overlaps.
+func randomFP(rng *rand.Rand, n, universe int) Fingerprint {
+	fp := make(Fingerprint, n)
+	for len(fp) < n {
+		fp[uint64(rng.Intn(universe))] = struct{}{}
 	}
-	sameSim := Similarity(dt1, dt2)
-	crossSim := Similarity(dt1, tus)
-	if sameSim <= crossSim {
-		t.Fatalf("same-workload similarity %d not above cross-workload %d", sameSim, crossSim)
+	return fp
+}
+
+// TestIntersectMatchesSimilarity drives the sorted-slice intersection —
+// merge walk, galloping path, and disjoint short-circuit — against the
+// map-based reference across shapes.
+func TestIntersectMatchesSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		na, nb := rng.Intn(200), rng.Intn(200)
+		if trial%5 == 0 {
+			na = rng.Intn(4) // lopsided: exercises the galloping path
+			nb = 150 + rng.Intn(1000)
+		}
+		a := randomFP(rng, na, 2000)
+		b := randomFP(rng, nb, 2000)
+		if got, want := Intersect(a.Sorted(), b.Sorted()), Similarity(a, b); got != want {
+			t.Fatalf("trial %d: Intersect=%d, Similarity=%d (|a|=%d |b|=%d)", trial, got, want, na, nb)
+		}
+	}
+	// Disjoint ranges short-circuit but must still answer zero.
+	lo := Fingerprint{1: {}, 2: {}, 3: {}}
+	hi := Fingerprint{100: {}, 200: {}}
+	if Intersect(lo.Sorted(), hi.Sorted()) != 0 {
+		t.Fatal("disjoint fingerprints intersect")
+	}
+	if Intersect(nil, hi.Sorted()) != 0 || Intersect(lo.Sorted(), nil) != 0 {
+		t.Fatal("empty fingerprint intersects")
 	}
 }
 
-func TestBySimilarityGroupsSameWorkload(t *testing.T) {
-	// Two DayTrader and two Tuscany VMs, interleaved; similarity packing
-	// must put like with like.
-	specs := []workload.Spec{workload.DayTrader(), workload.Tuscany(), workload.DayTrader(), workload.Tuscany()}
-	reqs := make([]Request, len(specs))
-	for i, s := range specs {
-		reqs[i] = Request{Spec: s, Fingerprint: FingerprintSpec(s, false, scale, 0)}
-	}
-	pl := BySimilarity(reqs, 2, 2)
-	for _, bin := range pl {
-		if len(bin) != 2 {
-			t.Fatalf("uneven packing: %+v", pl)
+// bySimilarityReference is the pre-optimization packer: full host-candidate
+// similarity recomputed for every seat. Kept as the oracle the incremental
+// version must match placement-for-placement.
+func bySimilarityReference(reqs []Request, hosts, perHost int) Placement {
+	placed := make([]bool, len(reqs))
+	pl := make(Placement, hosts)
+	for h := 0; h < hosts; h++ {
+		seed := -1
+		for i := range reqs {
+			if !placed[i] {
+				seed = i
+				break
+			}
 		}
-		if reqs[bin[0]].Spec.Name != reqs[bin[1]].Spec.Name {
-			t.Fatalf("similarity packing mixed workloads: %+v", pl)
+		if seed < 0 {
+			break
+		}
+		placed[seed] = true
+		pl[h] = append(pl[h], seed)
+		hostFP := make(Fingerprint, len(reqs[seed].Fingerprint))
+		for hsh := range reqs[seed].Fingerprint {
+			hostFP[hsh] = struct{}{}
+		}
+		for len(pl[h]) < perHost {
+			best, bestSim := -1, -1
+			for i := range reqs {
+				if placed[i] {
+					continue
+				}
+				if s := Similarity(hostFP, reqs[i].Fingerprint); s > bestSim {
+					best, bestSim = i, s
+				}
+			}
+			if best < 0 {
+				break
+			}
+			placed[best] = true
+			pl[h] = append(pl[h], best)
+			for hsh := range reqs[best].Fingerprint {
+				hostFP[hsh] = struct{}{}
+			}
 		}
 	}
+	return pl
 }
 
-func TestSmartPlacementSavesMore(t *testing.T) {
-	// The Memory Buddies claim: colocating similar VMs increases TPS
-	// savings versus content-blind round-robin. The requests arrive grouped
-	// (two DayTrader then two Tuscany), so round-robin splits each pair
-	// across hosts while similarity packing reunites them.
-	specs := []workload.Spec{workload.DayTrader(), workload.DayTrader(), workload.Tuscany(), workload.Tuscany()}
-	reqs := make([]Request, len(specs))
-	for i, s := range specs {
-		reqs[i] = Request{Spec: s, Fingerprint: FingerprintSpec(s, false, scale, 0)}
-	}
-	rr := Evaluate(reqs, RoundRobin(len(reqs), 2), false, scale, 0)
-	smart := Evaluate(reqs, BySimilarity(reqs, 2, 2), false, scale, 0)
-	if smart.TotalSavedMB <= rr.TotalSavedMB {
-		t.Fatalf("smart placement saved %.0f MB, round-robin %.0f MB",
-			smart.TotalSavedMB, rr.TotalSavedMB)
-	}
-	if smart.TotalUsedMB >= rr.TotalUsedMB {
-		t.Fatalf("smart placement used %.0f MB, round-robin %.0f MB",
-			smart.TotalUsedMB, rr.TotalUsedMB)
-	}
-	if smart.String() == "" {
-		t.Fatal("empty render")
+// TestBySimilarityMatchesReference: the cached-intersection packer must
+// produce bit-identical placements to the quadratic reference on random
+// request populations, including overlapping fingerprints, empty
+// fingerprints, and more requests than seats.
+func TestBySimilarityMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(24)
+		reqs := make([]Request, n)
+		for i := range reqs {
+			size := rng.Intn(120)
+			if rng.Intn(8) == 0 {
+				size = 0
+			}
+			reqs[i] = Request{Fingerprint: randomFP(rng, size, 400)}
+		}
+		hosts := 1 + rng.Intn(5)
+		perHost := 1 + rng.Intn(6)
+		got := BySimilarity(reqs, hosts, perHost)
+		want := bySimilarityReference(reqs, hosts, perHost)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: host count %d vs %d", trial, len(got), len(want))
+		}
+		for h := range want {
+			if len(got[h]) != len(want[h]) {
+				t.Fatalf("trial %d host %d: %v vs reference %v", trial, h, got[h], want[h])
+			}
+			for k := range want[h] {
+				if got[h][k] != want[h][k] {
+					t.Fatalf("trial %d host %d: %v vs reference %v", trial, h, got[h], want[h])
+				}
+			}
+		}
 	}
 }
