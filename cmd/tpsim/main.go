@@ -7,13 +7,15 @@
 //	tpsim [-scale N] [-seed S] [-quick] [-jobs N] <experiment> [...]
 //
 // Experiments: table1 table2 table3 table4 fig2 fig3a fig3b fig3c fig4
-// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff dirtylog chaos datacenter,
-// or "all" (which runs everything except dirtylog, chaos and datacenter).
-// fig2/fig3a share one run, as do fig4/fig5a; requesting either id prints
-// that part. The -chaos flag appends the chaos sweep; -chaos-seed fixes its
-// (and the datacenter sweep's) fault schedule; -incremental turns on
-// dirty-ring incremental KSM rescans; -datacenter appends the multi-host
-// placement × live-migration sweep sized by -hosts and -net-gbps.
+// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff dirtylog jitshare chaos
+// datacenter, or "all" (which runs everything except dirtylog, jitshare,
+// chaos and datacenter). fig2/fig3a share one run, as do fig4/fig5a;
+// requesting either id prints that part. The -chaos flag appends the chaos
+// sweep; -chaos-seed fixes its (and the datacenter sweep's) fault schedule;
+// -incremental turns on dirty-ring incremental KSM rescans; -jitshare
+// attaches the ShareJIT shared code archive; -datacenter appends the
+// multi-host placement × live-migration sweep sized by -hosts and
+// -net-gbps.
 //
 // Independent cluster runs (sweep points, error-bar repetitions, the
 // experiments of "all") fan out across -jobs workers. Results are collected
@@ -44,6 +46,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos sweep (guest kills, demand spikes, KSM stalls)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault schedule seed for -chaos and -datacenter (fixed seed = byte-identical output)")
 	incremental := flag.Bool("incremental", false, "enable dirty-ring incremental KSM rescans on every cluster")
+	jitShare := flag.Bool("jitshare", false, "attach the ShareJIT-style shared code archive to every JVM")
 	dcFlag := flag.Bool("datacenter", false, "run the multi-host placement × live-migration sweep")
 	hosts := flag.Int("hosts", 0, "host count for -datacenter (0 = 3)")
 	netGbps := flag.Float64("net-gbps", 0, "migration link rate in Gb/s for -datacenter (0 = 10)")
@@ -75,6 +78,7 @@ func main() {
 		THPKSMSplit:     *thpKSMSplit,
 		ChaosSeed:       *chaosSeed,
 		IncrementalScan: *incremental,
+		JITShare:        *jitShare,
 		DCHosts:         *hosts,
 		NetGbps:         *netGbps,
 	}
@@ -94,8 +98,8 @@ func usage() {
 
 usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] [-timeline] [-metrics-csv]
              [-thp never|madvise|always] [-thp-ksm-split] [-incremental]
-             [-chaos] [-chaos-seed S] [-datacenter] [-hosts N] [-net-gbps G]
-             <experiment>...
+             [-jitshare] [-chaos] [-chaos-seed S] [-datacenter] [-hosts N]
+             [-net-gbps G] <experiment>...
 
 experiments:
   table1..table4   the paper's configuration tables
@@ -109,15 +113,20 @@ experiments:
   fig8             SPECjEnterprise score vs 5..8 guest VMs
   thp-tradeoff     THP policy sweep: huge-page coverage vs KSM sharing
   dirtylog         converged KSM rescan cost: linear vs dirty-ring incremental
+  jitshare         code-area sharing: private JIT output vs ShareJIT PIC archive
   chaos            fault-injection sweep: kills/restarts, demand spikes, stalls
   datacenter       multi-host sweep: placement × migration protocol under faults
   check            evaluate every paper claim on quick runs (self-test)
-  all              everything above except dirtylog, chaos and datacenter
+  all              everything above except dirtylog, jitshare, chaos, datacenter
 
 -thp applies a huge-page policy to the paper experiments themselves
 (thp-tradeoff sweeps its own policies and ignores the flag).
 -incremental likewise applies dirty-ring incremental KSM rescans to the paper
 experiments (dirtylog sweeps both modes itself and ignores the flag).
+-jitshare attaches the ShareJIT-style shared code archive to every JVM of the
+paper experiments, making tier-1 JIT code position-independent and
+cross-process shareable (jitshare sweeps both modes itself and ignores the
+flag).
 -chaos appends the chaos experiment to the requested list (it is not part
 of "all"); -chaos-seed drives its deterministic fault schedule.
 -datacenter appends the multi-host sweep: guests placed round-robin vs by
@@ -193,6 +202,13 @@ func dirtyLogText(f core.DirtyLogFigure) string {
 		return core.DirtyLogFigureTable(f).CSV()
 	}
 	return core.RenderDirtyLogFigure(f) + "\n"
+}
+
+func jitShareText(f core.JITShareFigure) string {
+	if asCSV {
+		return core.JITShareFigureTable(f).CSV()
+	}
+	return core.RenderJITShareFigure(f) + "\n"
 }
 
 func powerText(f core.PowerFigure) string {
@@ -283,6 +299,8 @@ func renderFigure(id string, opts core.Options) (string, error) {
 		return thpText(core.THPTradeoff(opts)), nil
 	case "dirtylog":
 		return dirtyLogText(core.DirtyLogSweep(opts)), nil
+	case "jitshare":
+		return jitShareText(core.JITShareSweep(opts)), nil
 	case "chaos":
 		return chaosText(core.Chaos(opts)), nil
 	case "datacenter":

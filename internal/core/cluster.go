@@ -12,6 +12,7 @@ import (
 	"repro/internal/classlib"
 	"repro/internal/guestos"
 	"repro/internal/hypervisor"
+	"repro/internal/jitshare"
 	"repro/internal/jvm"
 	"repro/internal/ksm"
 	"repro/internal/mem"
@@ -101,6 +102,14 @@ type ClusterConfig struct {
 	// SharedAOT additionally populates and uses the cache's AOT section
 	// (extension; implies SharedClasses behaviour for code).
 	SharedAOT bool
+	// JITShare attaches a ShareJIT-style shared code archive to every JVM
+	// (internal/jitshare): tier-1 JIT output becomes position-independent
+	// bodies at canonical page-aligned offsets, identical across guests, so
+	// KSM merges the code area the paper found unshareable; per-process
+	// profile stubs split into their own category, and tier-2 re-JITs
+	// invalidate canonical slots so the sharing decays under warming. Off
+	// (the default) keeps every figure byte-identical.
+	JITShare bool
 	// PerVMCacheLayout is the §5 ablation of the paper's key insight: each
 	// guest populates its OWN cache in its own load order instead of
 	// receiving one copied file. The caches hold identical classes with
@@ -199,6 +208,7 @@ type Cluster struct {
 	Metrics *metrics.Registry
 
 	images      map[string]*cds.Image
+	jitArchives map[string]*jitshare.Archive
 	warmupEnded simclock.Time
 
 	// guests tracks per-slot lifecycle state for the chaos experiments. With
@@ -233,11 +243,12 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 		DirtyLog:           cfg.IncrementalScan,
 	}, clock)
 	c := &Cluster{
-		Cfg:    cfg,
-		Clock:  clock,
-		Host:   host,
-		Corpus: classlib.NewCorpus(jvm.RuntimeVersion, cfg.Scale),
-		images: make(map[string]*cds.Image),
+		Cfg:         cfg,
+		Clock:       clock,
+		Host:        host,
+		Corpus:      classlib.NewCorpus(jvm.RuntimeVersion, cfg.Scale),
+		images:      make(map[string]*cds.Image),
+		jitArchives: make(map[string]*jitshare.Archive),
 	}
 	if cfg.EnableTrace {
 		c.Trace = trace.New(clock, 0)
@@ -337,6 +348,10 @@ func (c *Cluster) bootGuest(i int, slot *guestSlot) {
 		dcfg.SharedAOT = cfg.SharedAOT
 		dcfg.CacheImage = img
 		dcfg.CachePath = CachePath
+	}
+	if cfg.JITShare {
+		dcfg.JITShare = true
+		dcfg.JITArchive = c.jitArchive(spec)
 	}
 	if cfg.PerVMNIOSalt {
 		dcfg.PerVMNIOSalt = mem.Combine(vmSeed, mem.HashString("nio-salt"))
@@ -454,6 +469,31 @@ func (c *Cluster) cacheImage(spec workload.Spec) *cds.Image {
 	return img
 }
 
+// jitArchive returns the shared code archive for a workload, laid out once
+// per cache name and handed to every JVM — the canonical layout is the
+// coordination point that makes their PIC pages byte-identical.
+func (c *Cluster) jitArchive(spec workload.Spec) *jitshare.Archive {
+	name := spec.CacheName + "-code"
+	if a, ok := c.jitArchives[name]; ok {
+		return a
+	}
+	a := workload.BuildJITArchive(c.Corpus, spec, c.Cfg.Scale, c.Host.PageSize())
+	c.jitArchives[name] = a
+	return a
+}
+
+// JITShareCensus runs the jitshare sharing census over every live worker's
+// archive mapping (zero counts when the mode is off).
+func (c *Cluster) JITShareCensus() jitshare.Counts {
+	var areas []jitshare.Area
+	for _, w := range c.Workers {
+		if a, ok := w.JVM.JIT().ShareArea(); ok {
+			areas = append(areas, a)
+		}
+	}
+	return jitshare.Census(c.Host, areas)
+}
+
 // spawnDaemons creates the guest's small native processes ("other user
 // processes" in Fig. 2): identical binaries from the base image plus small
 // per-process anonymous state.
@@ -554,6 +594,37 @@ func (c *Cluster) instrument() {
 		}
 		return float64(total)
 	})
+	if c.Cfg.JITShare {
+		// Code-area sharing gauges: archive pages that are merge candidates,
+		// those KSM actually merged, and those whose sharing was permanently
+		// lost to a re-JIT's COW break. The census is a read-only page walk,
+		// cached per sample instant since the gauges share it.
+		var censusAt simclock.Time = -1
+		var censusVal jitshare.Counts
+		census := func() jitshare.Counts {
+			if now := c.Clock.Now(); now != censusAt {
+				censusVal = c.JITShareCensus()
+				censusAt = now
+			}
+			return censusVal
+		}
+		r.Gauge("jitshare.code_pages_shareable", func() float64 { return float64(census().Shareable) })
+		r.Gauge("jitshare.code_pages_merged", func() float64 { return float64(census().Merged) })
+		r.Gauge("jitshare.code_pages_cow_broken", func() float64 {
+			total := 0
+			for _, w := range c.Workers {
+				total += w.JVM.JIT().Stats().CanonicalPagesInvalidated
+			}
+			return float64(total)
+		})
+		r.Gauge("jitshare.rejits", func() float64 {
+			total := 0
+			for _, w := range c.Workers {
+				total += w.JVM.JIT().Stats().ReJITs
+			}
+			return float64(total)
+		})
+	}
 }
 
 // WaitConverged drives the clock forward, one sample interval at a time,

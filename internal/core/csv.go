@@ -120,6 +120,26 @@ func DirtyLogFigureTable(f DirtyLogFigure) *report.Table {
 	return t
 }
 
+// JITShareFigureTable flattens the jitshare sweep result.
+func JITShareFigureTable(f JITShareFigure) *report.Table {
+	t := &report.Table{
+		Title: f.ID,
+		Headers: []string{"workload", "mode", "guests", "jvms_per_guest",
+			"code_mapped_mb", "code_shared_mb", "ratio_warm_pct", "ratio_end_pct",
+			"stub_mapped_mb", "stub_shared_mb", "archive_pages", "merged_warm",
+			"merged_end", "cow_broken_pages", "archived_methods", "overflow_methods",
+			"rejits", "ksm_saving_mb"},
+	}
+	for _, r := range f.Rows {
+		t.AddRow(r.Workload, r.Mode, r.Guests, r.JVMs,
+			r.CodeMappedMB, r.CodeSharedMB, r.RatioWarmPct, r.RatioEndPct,
+			r.StubMappedMB, r.StubSharedMB, r.ArchivePages, r.MergedWarm,
+			r.MergedEnd, r.COWBroken, r.ArchivedMethods, r.OverflowMethods,
+			r.ReJITs, r.KSMSavingMB)
+	}
+	return t
+}
+
 // PowerFigureTable flattens the Fig. 6 result.
 func PowerFigureTable(f PowerFigure) *report.Table {
 	t := &report.Table{

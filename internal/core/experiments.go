@@ -50,6 +50,11 @@ type Options struct {
 	// every cluster the experiment builds (tpsim -incremental). The zero
 	// value keeps the linear scanner and all figures byte-identical.
 	IncrementalScan bool
+	// JITShare attaches the ShareJIT-style shared code archive on every
+	// cluster the experiment builds (tpsim -jitshare). The zero value keeps
+	// all JIT output private and every figure byte-identical. The jitshare
+	// sweep supplies its own mode axis and ignores this flag.
+	JITShare bool
 	// DCHosts is the datacenter sweep's host count (tpsim -hosts, 0 = 3).
 	// Only the datacenter experiment reads it.
 	DCHosts int
@@ -178,13 +183,15 @@ func memFigureFrom(id, title string, a *memanalysis.Analysis, scale int) MemFigu
 // DayTrader figures; workload names for Fig. 3(b)/5(b)).
 func javaFigureFrom(id, title string, a *memanalysis.Analysis, scale int, labels []string) JavaFigure {
 	fig := JavaFigure{ID: id, Title: title}
-	for i, jb := range a.JavaBreakdowns() {
+	jbs := a.JavaBreakdowns()
+	cats := figureCategories(jbs)
+	for i, jb := range jbs {
 		label := jb.VMName
 		if i < len(labels) {
 			label = labels[i]
 		}
 		bar := JavaBar{Label: label, PID: jb.PID}
-		for _, cat := range jvm.Categories() {
+		for _, cat := range cats {
 			cu := jb.ByCat[cat]
 			bar.Cats = append(bar.Cats, CatRow{
 				Name:     cat,
@@ -195,6 +202,29 @@ func javaFigureFrom(id, title string, a *memanalysis.Analysis, scale int, labels
 		fig.Bars = append(fig.Bars, bar)
 	}
 	return fig
+}
+
+// figureCategories returns the Table IV category order for a Java figure,
+// splitting the ShareJIT profile stubs (CatJITData) out of the code row
+// when any JVM actually has stub memory. Flag-off runs never do, so their
+// figures keep the exact seven-row layout and stay byte-identical; without
+// the split, stub memory would either lump into the code category or
+// silently vanish from the breakdown.
+func figureCategories(jbs []memanalysis.JavaBreakdown) []string {
+	cats := jvm.Categories()
+	for _, jb := range jbs {
+		if cu, ok := jb.ByCat[jvm.CatJITData]; ok && cu.MappedBytes > 0 {
+			out := make([]string, 0, len(cats)+1)
+			for _, c := range cats {
+				out = append(out, c)
+				if c == jvm.CatJITCode {
+					out = append(out, jvm.CatJITData)
+				}
+			}
+			return out
+		}
+	}
+	return cats
 }
 
 // dayTraderCluster builds the §2.C measurement scenario: four 1 GB guests
@@ -214,6 +244,7 @@ func dayTraderCluster(o Options, shared bool) *Cluster {
 	cfg.THPPolicy = o.THPPolicy
 	cfg.THPKSMSplit = o.THPKSMSplit
 	cfg.IncrementalScan = o.IncrementalScan
+	cfg.JITShare = o.JITShare
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("daytrader x4 shared=%v", shared), c.Metrics)
 	return c
@@ -259,6 +290,7 @@ func mixedCluster(o Options, shared bool) *Cluster {
 	cfg.THPPolicy = o.THPPolicy
 	cfg.THPKSMSplit = o.THPKSMSplit
 	cfg.IncrementalScan = o.IncrementalScan
+	cfg.JITShare = o.JITShare
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("mixed x3 shared=%v", shared), c.Metrics)
 	return c
@@ -300,6 +332,7 @@ func tuscanyCluster(o Options, shared bool) *Cluster {
 	cfg.THPPolicy = o.THPPolicy
 	cfg.THPKSMSplit = o.THPKSMSplit
 	cfg.IncrementalScan = o.IncrementalScan
+	cfg.JITShare = o.JITShare
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("tuscany x3 shared=%v", shared), c.Metrics)
 	return c

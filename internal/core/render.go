@@ -229,6 +229,43 @@ func RenderDirtyLogFigure(f DirtyLogFigure) string {
 	return b.String()
 }
 
+// RenderJITShareFigure prints the jitshare sweep: one row per workload ×
+// sharing mode with the code-area sharing ratio after warm-up and at the
+// end of steady state.
+func RenderJITShareFigure(f JITShareFigure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", strings.ToUpper(f.ID), f.Title)
+	t := &report.Table{Headers: []string{
+		"Workload", "Mode", "Guests", "JVMs/guest", "Code mapped MB", "Code shared MB",
+		"Ratio warm %", "Ratio end %", "Stub MB", "Archive pages", "Merged warm",
+		"Merged end", "COW-broken", "Archived", "Overflow", "Re-JITs", "KSM saving MB",
+	}}
+	for _, r := range f.Rows {
+		t.AddRow(
+			r.Workload,
+			r.Mode,
+			fmt.Sprintf("%d", r.Guests),
+			fmt.Sprintf("%d", r.JVMs),
+			fmt.Sprintf("%.1f", r.CodeMappedMB),
+			fmt.Sprintf("%.1f", r.CodeSharedMB),
+			fmt.Sprintf("%.1f", r.RatioWarmPct),
+			fmt.Sprintf("%.1f", r.RatioEndPct),
+			fmt.Sprintf("%.1f", r.StubMappedMB),
+			fmt.Sprintf("%d", r.ArchivePages),
+			fmt.Sprintf("%d", r.MergedWarm),
+			fmt.Sprintf("%d", r.MergedEnd),
+			fmt.Sprintf("%d", r.COWBroken),
+			fmt.Sprintf("%d", r.ArchivedMethods),
+			fmt.Sprintf("%d", r.OverflowMethods),
+			fmt.Sprintf("%d", r.ReJITs),
+			fmt.Sprintf("%.1f", r.KSMSavingMB),
+		)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nPIC bodies merge across processes; tier-2 re-JITs rewrite canonical slots and the ratio decays from warm to end.\n")
+	return b.String()
+}
+
 // RenderPowerFigure prints the Fig. 6 result.
 func RenderPowerFigure(f PowerFigure) string {
 	var b strings.Builder

@@ -1,0 +1,186 @@
+// Package jitshare implements ShareJIT-style cross-process sharing of
+// JIT-compiled code (PAPERS.md: arxiv 1810.09555), the fix for the paper's
+// core negative result that JIT output never TPS-shares.
+//
+// The idea mirrors the shared class cache (internal/cds): compiled methods
+// are split into a position-independent body — content derived only from
+// the class, the method index and the archive version, so it is
+// byte-identical in every JVM of every guest — and a small per-process
+// profile/data stub (invocation counters, receiver-type caches, branch
+// profiles) that stays private. The bodies live at canonical, page-aligned,
+// version-keyed offsets in a shared code archive whose layout is fixed by
+// the corpus's canonical class order, never by any process's load order; a
+// page of the archive therefore holds the same bytes at the same offset in
+// every process, and KSM merges it across guests exactly as it merges
+// ROMClass cache pages.
+//
+// Sharing is not free forever: when the JIT re-compiles a method at a
+// higher optimization tier it specializes the code against the process's
+// profile, so the canonical slot is rewritten in place with per-process
+// bytes. That write COW-breaks the merged page and the slot never
+// re-merges — the realistic decay of code sharing under warming that the
+// jitshare sweep measures.
+package jitshare
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/classlib"
+	"repro/internal/mem"
+)
+
+// headerPages reserves the front of the archive for the method directory,
+// keeping the first body page-aligned (like the cds image header).
+const headerPages = 1
+
+// Entry records where one method's position-independent body lives in the
+// archive.
+type Entry struct {
+	Class  mem.Seed // class identity seed (classlib.Class.Seed)
+	Method int      // method index within the class
+	// PageOff is the first archive page of the body. Bodies are page-aligned
+	// so that a re-JIT invalidating one method never dirties a neighbour's
+	// pages — the property that makes decay per-method, not per-segment.
+	PageOff int
+	// Pages is the page span of the body.
+	Pages int
+	// Size is the body's byte length (the last page's tail stays zero).
+	Size int
+}
+
+// Archive is the canonical layout of a shared code archive: which method
+// body lives at which page-aligned offset. Like a cds.Image it is built
+// once per workload from the corpus's canonical class order and handed to
+// every JVM, so all processes agree on the layout without coordination.
+type Archive struct {
+	// Name labels the archive (one per workload cache name).
+	Name string
+	// Version ties the archive to a JVM build; a real runtime would discard
+	// an archive produced by a different compiler level.
+	Version string
+	// CapacityBytes bounds the archive; hot methods that no longer fit
+	// overflow into each process's private code cache.
+	CapacityBytes int64
+	// PageSize is the layout granularity.
+	PageSize int
+
+	entries    []Entry
+	index      map[entryKey]int
+	usedPages  int
+	overflowed int
+}
+
+type entryKey struct {
+	class  mem.Seed
+	method int
+}
+
+// BodySize reports the generated-code size of a method. This is the exact
+// formula the private JIT code cache uses, so enabling the archive changes
+// where code lands, never how much is generated.
+func BodySize(classSeed mem.Seed, m int) int {
+	r := mem.Mix(mem.Combine(classSeed, mem.Seed(m)))
+	return 2048 + int(uint64(r)%12288) // 2-14 KiB of generated code
+}
+
+// BodySeed derives the content of a position-independent body. Only the
+// archive version, the class and the method index contribute — no process
+// seed, no profile — which is what makes the bytes identical (and therefore
+// mergeable) across every JVM attaching the archive.
+func BodySeed(version string, classSeed mem.Seed, m int) mem.Seed {
+	return mem.Combine(mem.HashString("jitshare-pic"), mem.HashString(version), classSeed, mem.Seed(m))
+}
+
+// Build lays out an archive for the hot methods of the given classes. The
+// class list must be the corpus's canonical order (never a process's
+// shuffled load order): the layout is part of the archive's identity, and
+// any two processes that disagree on it would write different pages.
+// Methods that exceed the capacity overflow and compile privately.
+func Build(name, version string, capacityBytes int64, pageSize int, classes []*classlib.Class, hotPermille int) *Archive {
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("jitshare: page size %d", pageSize))
+	}
+	capacityPages := int(capacityBytes / int64(pageSize))
+	if capacityPages <= headerPages {
+		panic(fmt.Sprintf("jitshare: capacity %d smaller than header", capacityBytes))
+	}
+	a := &Archive{
+		Name:          name,
+		Version:       version,
+		CapacityBytes: capacityBytes,
+		PageSize:      pageSize,
+		index:         make(map[entryKey]int),
+		usedPages:     headerPages,
+	}
+	for _, cl := range classes {
+		for m := 0; m < classlib.HotMethods(cl, hotPermille); m++ {
+			k := entryKey{cl.Seed, m}
+			if _, dup := a.index[k]; dup {
+				continue
+			}
+			size := BodySize(cl.Seed, m)
+			pages := (size + pageSize - 1) / pageSize
+			if a.usedPages+pages > capacityPages {
+				a.overflowed++
+				continue
+			}
+			a.index[k] = len(a.entries)
+			a.entries = append(a.entries, Entry{
+				Class: cl.Seed, Method: m,
+				PageOff: a.usedPages, Pages: pages, Size: size,
+			})
+			a.usedPages += pages
+		}
+	}
+	return a
+}
+
+// Lookup finds a method's canonical slot.
+func (a *Archive) Lookup(classSeed mem.Seed, m int) (Entry, bool) {
+	i, ok := a.index[entryKey{classSeed, m}]
+	if !ok {
+		return Entry{}, false
+	}
+	return a.entries[i], true
+}
+
+// EntryAt finds the entry whose body covers the given archive page (the
+// header and any alignment gap answer false).
+func (a *Archive) EntryAt(page int) (Entry, bool) {
+	i := sort.Search(len(a.entries), func(i int) bool {
+		return a.entries[i].PageOff+a.entries[i].Pages > page
+	})
+	if i == len(a.entries) || page < a.entries[i].PageOff {
+		return Entry{}, false
+	}
+	return a.entries[i], true
+}
+
+// Entries returns the layout in page order.
+func (a *Archive) Entries() []Entry { return a.entries }
+
+// MethodCount reports how many method bodies the archive holds.
+func (a *Archive) MethodCount() int { return len(a.entries) }
+
+// Overflowed reports how many hot methods did not fit.
+func (a *Archive) Overflowed() int { return a.overflowed }
+
+// UsedPages reports the populated prefix (header included) in pages.
+func (a *Archive) UsedPages() int { return a.usedPages }
+
+// UsedBytes reports the populated prefix in bytes.
+func (a *Archive) UsedBytes() int64 { return int64(a.usedPages) * int64(a.PageSize) }
+
+// Validate checks the archive against the attaching runtime's version, as a
+// real JVM refuses a code archive from a different compiler level.
+func (a *Archive) Validate(runtimeVersion string) error {
+	if a.Version != runtimeVersion {
+		return fmt.Errorf("jitshare: archive %q built for %q, runtime is %q", a.Name, a.Version, runtimeVersion)
+	}
+	if int64(a.usedPages)*int64(a.PageSize) > a.CapacityBytes {
+		return fmt.Errorf("jitshare: archive %q corrupt: %d pages exceed capacity %d",
+			a.Name, a.usedPages, a.CapacityBytes)
+	}
+	return nil
+}

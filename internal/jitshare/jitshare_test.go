@@ -1,0 +1,119 @@
+package jitshare
+
+import (
+	"testing"
+
+	"repro/internal/classlib"
+	"repro/internal/mem"
+)
+
+const (
+	pg      = mem.DefaultPageSize
+	version = "J9-test"
+)
+
+func testClasses() []*classlib.Class {
+	return classlib.NewCorpus(version, 64).Stack(classlib.GroupJDK, classlib.GroupDerby)
+}
+
+func build(capacity int64) *Archive {
+	return Build("t-code", version, capacity, pg, testClasses(), 20)
+}
+
+func TestBuildDeterministicAndPageAligned(t *testing.T) {
+	a := build(8 << 20)
+	b := build(8 << 20)
+	if a.MethodCount() == 0 {
+		t.Fatal("archive holds no methods")
+	}
+	if a.MethodCount() != b.MethodCount() || a.UsedPages() != b.UsedPages() {
+		t.Fatalf("two builds disagree: %d/%d methods, %d/%d pages",
+			a.MethodCount(), b.MethodCount(), a.UsedPages(), b.UsedPages())
+	}
+	next := headerPages // first body page-aligned right after the header
+	for i, e := range a.Entries() {
+		if e != b.Entries()[i] {
+			t.Fatalf("entry %d differs between identical builds: %+v vs %+v", i, e, b.Entries()[i])
+		}
+		if e.PageOff != next {
+			t.Fatalf("entry %d at page %d, want %d (layout must be dense and ordered)", i, e.PageOff, next)
+		}
+		if want := (e.Size + pg - 1) / pg; e.Pages != want {
+			t.Fatalf("entry %d spans %d pages for %d bytes, want %d", i, e.Pages, e.Size, want)
+		}
+		if e.Size != BodySize(e.Class, e.Method) {
+			t.Fatalf("entry %d size %d != BodySize %d", i, e.Size, BodySize(e.Class, e.Method))
+		}
+		next += e.Pages
+	}
+	if a.UsedPages() != next {
+		t.Fatalf("UsedPages %d, layout ends at %d", a.UsedPages(), next)
+	}
+}
+
+func TestLookupAndEntryAt(t *testing.T) {
+	a := build(8 << 20)
+	for _, e := range a.Entries() {
+		got, ok := a.Lookup(e.Class, e.Method)
+		if !ok || got != e {
+			t.Fatalf("Lookup(%v, %d) = %+v, %v; want %+v", e.Class, e.Method, got, ok, e)
+		}
+		for p := e.PageOff; p < e.PageOff+e.Pages; p++ {
+			got, ok := a.EntryAt(p)
+			if !ok || got != e {
+				t.Fatalf("EntryAt(%d) = %+v, %v; want %+v", p, got, ok, e)
+			}
+		}
+	}
+	if _, ok := a.EntryAt(0); ok {
+		t.Fatal("EntryAt resolved the header page to a method")
+	}
+	if _, ok := a.EntryAt(a.UsedPages()); ok {
+		t.Fatal("EntryAt resolved a page past the populated prefix")
+	}
+	if _, ok := a.Lookup(mem.Seed(0xdead), 0); ok {
+		t.Fatal("Lookup found a class that was never laid out")
+	}
+}
+
+func TestTinyCapacityOverflows(t *testing.T) {
+	a := build(16 * pg)
+	if a.Overflowed() == 0 {
+		t.Fatal("16-page archive fit every hot method")
+	}
+	if a.UsedBytes() > a.CapacityBytes {
+		t.Fatalf("layout %d bytes exceeds capacity %d", a.UsedBytes(), a.CapacityBytes)
+	}
+	if err := a.Validate(version); err != nil {
+		t.Fatalf("overflowed archive failed validation: %v", err)
+	}
+	full := build(8 << 20)
+	if a.MethodCount()+a.Overflowed() != full.MethodCount()+full.Overflowed() {
+		t.Fatalf("hot-method universe changed with capacity: %d+%d vs %d+%d",
+			a.MethodCount(), a.Overflowed(), full.MethodCount(), full.Overflowed())
+	}
+}
+
+func TestValidateRejectsVersionMismatch(t *testing.T) {
+	a := build(8 << 20)
+	if err := a.Validate(version); err != nil {
+		t.Fatalf("matching version rejected: %v", err)
+	}
+	if err := a.Validate("J9-other"); err == nil {
+		t.Fatal("archive from a different compiler level accepted")
+	}
+}
+
+func TestBodySeedIsProcessFree(t *testing.T) {
+	cl := testClasses()[0]
+	s := BodySeed(version, cl.Seed, 0)
+	if s != BodySeed(version, cl.Seed, 0) {
+		t.Fatal("BodySeed not deterministic")
+	}
+	if s == BodySeed(version, cl.Seed, 1) {
+		t.Fatal("BodySeed ignores the method index")
+	}
+	if s == BodySeed("J9-other", cl.Seed, 0) {
+		t.Fatal("BodySeed ignores the archive version")
+	}
+}

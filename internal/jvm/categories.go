@@ -21,6 +21,14 @@ const (
 	CatHeap      = "Java heap"
 	CatJVMWork   = "JVM work area"
 	CatStack     = "Stack"
+
+	// CatJITData is the ShareJIT extension's per-process profile/data stubs
+	// (invocation counters, receiver-type caches, branch profiles). It is
+	// not one of the paper's Table IV categories — the measured JVM mixed
+	// this state into the code cache — so it only appears in figures when
+	// the jitshare mode is on; keeping it out of Categories() keeps every
+	// flag-off figure byte-identical.
+	CatJITData = "JIT data stubs"
 )
 
 // Categories lists the Table IV categories in the paper's presentation

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cds"
 	"repro/internal/classlib"
 	"repro/internal/guestos"
+	"repro/internal/jitshare"
 	"repro/internal/mem"
 )
 
@@ -34,6 +35,14 @@ type Options struct {
 	// file holding its bytes. Both must be set when SharedClasses is on.
 	CacheImage *cds.Image
 	CachePath  string
+	// JITShare attaches a shared code archive (ShareJIT mode): tier-1
+	// compiled code becomes position-independent bodies at the archive's
+	// canonical page-aligned offsets — identical across processes, so KSM
+	// merges it — with per-process profile stubs split into CatJITData.
+	// Requires JITArchive. Off (the default) keeps the paper's measured
+	// behaviour: all JIT output private and unshareable.
+	JITShare   bool
+	JITArchive *jitshare.Archive
 	// Threads is the worker thread count (stacks scale with it).
 	Threads int
 }
@@ -177,8 +186,18 @@ func Launch(k *guestos.Kernel, name string, corpus *classlib.Corpus, opts Option
 		proc.Touch(j.cacheVMA.Start, false) // cache header is read at attach
 	}
 
+	var share *jitshare.Archive
+	if opts.JITShare {
+		if opts.JITArchive == nil {
+			panic("jvm: JITShare requires JITArchive")
+		}
+		if err := opts.JITArchive.Validate(RuntimeVersion); err != nil {
+			panic(err)
+		}
+		share = opts.JITArchive
+	}
 	j.heap = newHeap(proc, opts.GCPolicy, opts.HeapBytes, opts.NurseryBytes, opts.TenuredBytes)
-	j.jit = newJIT(proc, sizes.JITCodeSegBytes, sizes.JITScratchBytes)
+	j.jit = newJIT(proc, sizes.JITCodeSegBytes, sizes.JITScratchBytes, share)
 	j.work = newWorkArea(proc, sizes.MallocSegBytes)
 	j.work.BulkReserve(sizes.BulkReserveBytes)
 	j.work.SetupNIO(sizes.NIOPoolBytes)
@@ -268,8 +287,39 @@ func (j *JVM) TouchMetadata(step, pages int) {
 }
 
 // TouchJITCode keeps the compiled-code working set hot (executing it).
+// With a shared code archive attached, executing an archive page also bumps
+// the owning method's invocation counter in its private stub — the sampling
+// that eventually triggers the tier-2 re-JIT and decays the sharing.
 func (j *JVM) TouchJITCode(step, pages int) {
-	j.touchRegions(j.jit.code.usedRanges(), &j.codeCursor, pages)
+	if !j.jit.Shared() {
+		j.touchRegions(j.jit.code.usedRanges(), &j.codeCursor, pages)
+		return
+	}
+	// The same cursor walk as touchRegions, over a snapshot of the regions
+	// (an upgrade mid-loop grows the code arena; the new segments join the
+	// rotation on the next call).
+	regions := j.jit.touchRanges()
+	var total int
+	for _, r := range regions {
+		total += r.pages
+	}
+	if total == 0 {
+		return
+	}
+	for i := 0; i < pages; i++ {
+		j.codeCursor++
+		idx := int(j.codeCursor % uint64(total))
+		for _, r := range regions {
+			if idx < r.pages {
+				j.proc.Touch(r.v.Start+mem.VPN(idx), false)
+				if r.v == j.jit.shareVMA {
+					j.jit.noteExecution(idx)
+				}
+				break
+			}
+			idx -= r.pages
+		}
+	}
 }
 
 // touchRegions read-touches pages cycling across a region list.
@@ -441,6 +491,11 @@ func (j *JVM) JITWarm(hotPermille int) {
 					if uint64(mem.Mix(mem.Combine(cl.Seed, mem.Seed(m))))%5 != 0 {
 						continue
 					}
+					// The upgrade compiles against the accumulated profile;
+					// in ShareJIT mode that specialization invalidates the
+					// method's canonical archive slot.
+					j.jit.RecompileProfiled(cl.Seed, m)
+					continue
 				}
 			}
 			j.jit.CompileMethod(cl.Seed, m)

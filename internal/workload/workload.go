@@ -6,6 +6,7 @@ import (
 	"repro/internal/cds"
 	"repro/internal/classlib"
 	"repro/internal/guestos"
+	"repro/internal/jitshare"
 	"repro/internal/jvm"
 	"repro/internal/mem"
 )
@@ -38,6 +39,11 @@ type DeployConfig struct {
 	// SharedAOT serves hot-method code from the cache's AOT section (the
 	// extension; requires a cache built with BuildCacheAOT).
 	SharedAOT bool
+	// JITShare attaches a shared code archive so tier-1 JIT output is
+	// position-independent and cross-process shareable (the ShareJIT
+	// extension); requires JITArchive, built with BuildJITArchive.
+	JITShare   bool
+	JITArchive *jitshare.Archive
 }
 
 // Instance is one running workload (one WAS or Tuscany process in one
@@ -103,6 +109,31 @@ func BuildCache(corpus *classlib.Corpus, spec Spec, scale int) *cds.Image {
 	return cds.Build(spec.CacheName, corpus.Version, capacity, corpus.Stack(spec.CacheAwareGroups...))
 }
 
+// HotPermille is the share of methods the JIT compiles as hot in steady
+// state (the paper's WAS processes sit near 2 % of methods compiled). The
+// deploy-time JITWarm and the jitshare archive layout must agree on it, or
+// processes would compile methods the archive never laid out.
+const HotPermille = 20
+
+// jitArchiveBytes is the unscaled shared-code-archive capacity. Sized so the
+// hot sets of the Table III workloads fit with a small realistic overflow.
+const jitArchiveBytes = int64(64) << 20
+
+// BuildJITArchive lays out the shared code archive for a workload: the
+// canonical (unshuffled) class stack over every group the workload loads,
+// hot methods at the same permille JITWarm compiles. Like the class cache,
+// the layout derives only from the corpus — never from any process's load
+// order — so every JVM agrees on which method body lives at which page.
+func BuildJITArchive(corpus *classlib.Corpus, spec Spec, scale, pageSize int) *jitshare.Archive {
+	capacity := jitArchiveBytes / int64(scale)
+	if capacity < 128<<10 {
+		capacity = 128 << 10
+	}
+	groups := append(append([]classlib.Group(nil), spec.CacheAwareGroups...), spec.PrivateGroups...)
+	return jitshare.Build(spec.CacheName+"-code", corpus.Version, capacity, pageSize,
+		corpus.Stack(groups...), HotPermille)
+}
+
 // BuildCacheAOT builds the cache like BuildCache and additionally populates
 // its AOT section with the hot methods at hotPermille (the extension mode).
 // The cache is grown by half: Table III's sizes fit the class metadata
@@ -164,6 +195,13 @@ func Deploy(k *guestos.Kernel, corpus *classlib.Corpus, spec Spec, cfg DeployCon
 		opts.CacheImage = cfg.CacheImage
 		opts.CachePath = cfg.CachePath
 	}
+	if cfg.JITShare {
+		if cfg.JITArchive == nil {
+			panic("workload: JITShare without archive")
+		}
+		opts.JITShare = true
+		opts.JITArchive = cfg.JITArchive
+	}
 
 	sizes := SizesFor(spec, cfg.Scale)
 	if cfg.Sizes != nil {
@@ -175,7 +213,7 @@ func Deploy(k *guestos.Kernel, corpus *classlib.Corpus, spec Spec, cfg DeployCon
 	if len(spec.PrivateGroups) > 0 {
 		j.LoadGroups(false, spec.PrivateGroups...)
 	}
-	j.JITWarm(20) // ≈2 % of methods hot in steady state
+	j.JITWarm(HotPermille) // ≈2 % of methods hot in steady state
 
 	logPath := fmt.Sprintf("/opt/middleware/logs/%s-pid%d/SystemOut.log", spec.Middleware, j.Process().PID)
 	k.FS().Install(&guestos.File{Path: logPath, SizeBytes: 0, ContentSeed: j.Process().Seed()})
