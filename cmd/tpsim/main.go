@@ -7,15 +7,16 @@
 //	tpsim [-scale N] [-seed S] [-quick] [-jobs N] <experiment> [...]
 //
 // Experiments: table1 table2 table3 table4 fig2 fig3a fig3b fig3c fig4
-// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff dirtylog jitshare chaos
-// datacenter, or "all" (which runs everything except dirtylog, jitshare,
-// chaos and datacenter). fig2/fig3a share one run, as do fig4/fig5a;
-// requesting either id prints that part. The -chaos flag appends the chaos
-// sweep; -chaos-seed fixes its (and the datacenter sweep's) fault schedule;
-// -incremental turns on dirty-ring incremental KSM rescans; -jitshare
-// attaches the ShareJIT shared code archive; -datacenter appends the
-// multi-host placement × live-migration sweep sized by -hosts and
-// -net-gbps.
+// fig5a fig5b fig5c fig6 fig7 fig8 thp-tradeoff dirtylog jitshare ksmshard
+// chaos datacenter, or "all" (which runs everything except dirtylog,
+// jitshare, ksmshard, chaos and datacenter). fig2/fig3a share one run, as do
+// fig4/fig5a; requesting either id prints that part. The -chaos flag appends
+// the chaos sweep; -chaos-seed fixes its (and the datacenter sweep's) fault
+// schedule; -incremental turns on dirty-ring incremental KSM rescans;
+// -jitshare attaches the ShareJIT shared code archive; -ksm-shards
+// partitions the KSM scanner across a worker pool (outcomes byte-identical
+// at every count); -datacenter appends the multi-host placement ×
+// live-migration sweep sized by -hosts and -net-gbps.
 //
 // Independent cluster runs (sweep points, error-bar repetitions, the
 // experiments of "all") fan out across -jobs workers. Results are collected
@@ -47,6 +48,7 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault schedule seed for -chaos and -datacenter (fixed seed = byte-identical output)")
 	incremental := flag.Bool("incremental", false, "enable dirty-ring incremental KSM rescans on every cluster")
 	jitShare := flag.Bool("jitshare", false, "attach the ShareJIT-style shared code archive to every JVM")
+	ksmShards := flag.Int("ksm-shards", 0, "KSM scanner shard count (0/1 = single-threaded; outcomes identical at every count)")
 	dcFlag := flag.Bool("datacenter", false, "run the multi-host placement × live-migration sweep")
 	hosts := flag.Int("hosts", 0, "host count for -datacenter (0 = 3)")
 	netGbps := flag.Float64("net-gbps", 0, "migration link rate in Gb/s for -datacenter (0 = 10)")
@@ -79,6 +81,7 @@ func main() {
 		ChaosSeed:       *chaosSeed,
 		IncrementalScan: *incremental,
 		JITShare:        *jitShare,
+		KSMShards:       *ksmShards,
 		DCHosts:         *hosts,
 		NetGbps:         *netGbps,
 	}
@@ -98,8 +101,8 @@ func usage() {
 
 usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] [-timeline] [-metrics-csv]
              [-thp never|madvise|always] [-thp-ksm-split] [-incremental]
-             [-jitshare] [-chaos] [-chaos-seed S] [-datacenter] [-hosts N]
-             [-net-gbps G] <experiment>...
+             [-jitshare] [-ksm-shards N] [-chaos] [-chaos-seed S] [-datacenter]
+             [-hosts N] [-net-gbps G] <experiment>...
 
 experiments:
   table1..table4   the paper's configuration tables
@@ -114,10 +117,12 @@ experiments:
   thp-tradeoff     THP policy sweep: huge-page coverage vs KSM sharing
   dirtylog         converged KSM rescan cost: linear vs dirty-ring incremental
   jitshare         code-area sharing: private JIT output vs ShareJIT PIC archive
+  ksmshard         sharded KSM scanning: identical outcomes at 1/2/4 shards
   chaos            fault-injection sweep: kills/restarts, demand spikes, stalls
   datacenter       multi-host sweep: placement × migration protocol under faults
   check            evaluate every paper claim on quick runs (self-test)
-  all              everything above except dirtylog, jitshare, chaos, datacenter
+  all              everything above except dirtylog, jitshare, ksmshard, chaos,
+                   datacenter
 
 -thp applies a huge-page policy to the paper experiments themselves
 (thp-tradeoff sweeps its own policies and ignores the flag).
@@ -127,6 +132,10 @@ experiments (dirtylog sweeps both modes itself and ignores the flag).
 paper experiments, making tier-1 JIT code position-independent and
 cross-process shareable (jitshare sweeps both modes itself and ignores the
 flag).
+-ksm-shards partitions the KSM scanner's merge state by checksum bucket and
+scans batches on a worker pool. Figures are byte-identical at every count —
+sharding changes scan-pass wall time only (ksmshard sweeps its own shard
+axis and ignores the flag; BENCH_ksmshard.json has the wall-time scaling).
 -chaos appends the chaos experiment to the requested list (it is not part
 of "all"); -chaos-seed drives its deterministic fault schedule.
 -datacenter appends the multi-host sweep: guests placed round-robin vs by
@@ -209,6 +218,13 @@ func jitShareText(f core.JITShareFigure) string {
 		return core.JITShareFigureTable(f).CSV()
 	}
 	return core.RenderJITShareFigure(f) + "\n"
+}
+
+func ksmShardText(f core.KSMShardFigure) string {
+	if asCSV {
+		return core.KSMShardFigureTable(f).CSV()
+	}
+	return core.RenderKSMShardFigure(f) + "\n"
 }
 
 func powerText(f core.PowerFigure) string {
@@ -301,6 +317,8 @@ func renderFigure(id string, opts core.Options) (string, error) {
 		return dirtyLogText(core.DirtyLogSweep(opts)), nil
 	case "jitshare":
 		return jitShareText(core.JITShareSweep(opts)), nil
+	case "ksmshard":
+		return ksmShardText(core.KSMShardSweep(opts)), nil
 	case "chaos":
 		return chaosText(core.Chaos(opts)), nil
 	case "datacenter":

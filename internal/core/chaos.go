@@ -109,6 +109,7 @@ func chaosCell(o Options, guests int, p chaosProfile, label string, seq int) Cha
 		BaseSeed:        o.Seed,
 		EnableMetrics:   o.Telemetry != nil,
 		IncrementalScan: o.IncrementalScan,
+		KSMShards:       o.KSMShards,
 	}
 	if o.Quick {
 		cfg.SteadyRounds = 15

@@ -99,6 +99,11 @@ type ClusterConfig struct {
 	// steer the balloon manager and the OOM killer toward cold guests. Off
 	// (the default) keeps every figure byte-identical.
 	IncrementalScan bool
+	// KSMShards partitions the scanner's merge state by checksum bucket and
+	// scans batches on a worker pool (ksm.Config.Shards). Results are
+	// byte-identical at every shard count — only scan-pass wall time changes
+	// — so 0/1 (single-threaded) and N>1 produce the same figures.
+	KSMShards int
 	// SharedAOT additionally populates and uses the cache's AOT section
 	// (extension; implies SharedClasses behaviour for code).
 	SharedAOT bool
@@ -260,6 +265,7 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 	kcfg.PagesToScan = 10000
 	kcfg.SplitHugePages = cfg.THPKSMSplit
 	kcfg.IncrementalScan = cfg.IncrementalScan
+	kcfg.Shards = cfg.KSMShards
 	c.Scanner = ksm.New(host, kcfg)
 	if !cfg.DisableKSM {
 		c.Scanner.Start()

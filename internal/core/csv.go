@@ -120,6 +120,23 @@ func DirtyLogFigureTable(f DirtyLogFigure) *report.Table {
 	return t
 }
 
+// KSMShardFigureTable flattens the ksmshard sweep result.
+func KSMShardFigureTable(f KSMShardFigure) *report.Table {
+	t := &report.Table{
+		Title: f.ID,
+		Headers: []string{"workload", "guests", "shards", "ksm_saving_mb",
+			"merges", "pages_scanned", "full_scans", "scan_cpu_pct",
+			"shard_pages_scanned"},
+	}
+	for _, r := range f.Rows {
+		t.AddRow(r.Workload, r.Guests, r.Shards, r.SharingMB,
+			fmt.Sprint(r.Merges), fmt.Sprint(r.PagesScanned),
+			fmt.Sprint(r.FullScans), r.ScanCPUPct,
+			shardSplit(r.ShardPagesScanned))
+	}
+	return t
+}
+
 // JITShareFigureTable flattens the jitshare sweep result.
 func JITShareFigureTable(f JITShareFigure) *report.Table {
 	t := &report.Table{

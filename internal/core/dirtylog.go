@@ -88,6 +88,7 @@ func DirtyLogSweep(o Options) DirtyLogFigure {
 							BaseSeed:        o.Seed,
 							IncrementalScan: mode.incremental,
 							EnableMetrics:   o.Telemetry != nil,
+							KSMShards:       o.KSMShards,
 						}
 						if o.Quick {
 							cfg.SteadyRounds = 15

@@ -55,6 +55,12 @@ type Options struct {
 	// all JIT output private and every figure byte-identical. The jitshare
 	// sweep supplies its own mode axis and ignores this flag.
 	JITShare bool
+	// KSMShards partitions the KSM scanner's merge state by checksum bucket
+	// on every cluster the experiment builds (tpsim -ksm-shards). Figures
+	// are byte-identical at every value — sharding changes scan-pass wall
+	// time, never outcomes. The ksmshard sweep supplies its own shard axis
+	// and ignores this flag.
+	KSMShards int
 	// DCHosts is the datacenter sweep's host count (tpsim -hosts, 0 = 3).
 	// Only the datacenter experiment reads it.
 	DCHosts int
@@ -245,6 +251,7 @@ func dayTraderCluster(o Options, shared bool) *Cluster {
 	cfg.THPKSMSplit = o.THPKSMSplit
 	cfg.IncrementalScan = o.IncrementalScan
 	cfg.JITShare = o.JITShare
+	cfg.KSMShards = o.KSMShards
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("daytrader x4 shared=%v", shared), c.Metrics)
 	return c
@@ -291,6 +298,7 @@ func mixedCluster(o Options, shared bool) *Cluster {
 	cfg.THPKSMSplit = o.THPKSMSplit
 	cfg.IncrementalScan = o.IncrementalScan
 	cfg.JITShare = o.JITShare
+	cfg.KSMShards = o.KSMShards
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("mixed x3 shared=%v", shared), c.Metrics)
 	return c
@@ -333,6 +341,7 @@ func tuscanyCluster(o Options, shared bool) *Cluster {
 	cfg.THPKSMSplit = o.THPKSMSplit
 	cfg.IncrementalScan = o.IncrementalScan
 	cfg.JITShare = o.JITShare
+	cfg.KSMShards = o.KSMShards
 	c := BuildCluster(cfg)
 	o.Telemetry.Collect(fmt.Sprintf("tuscany x3 shared=%v", shared), c.Metrics)
 	return c

@@ -103,6 +103,7 @@ func JITShareSweep(o Options) JITShareFigure {
 						JITShare:      mode.share,
 						BaseSeed:      o.Seed,
 						EnableMetrics: o.Telemetry != nil,
+						KSMShards:     o.KSMShards,
 					}
 					if o.Quick {
 						cfg.SteadyRounds = 15

@@ -243,6 +243,7 @@ func sweep(o Options, id, title, unit string, spec workload.Spec, counts []int, 
 							THPPolicy:          o.THPPolicy,
 							THPKSMSplit:        o.THPKSMSplit,
 							IncrementalScan:    o.IncrementalScan,
+							KSMShards:          o.KSMShards,
 						}
 						c := BuildCluster(cfg)
 						o.Telemetry.CollectAt(seq, label, c.Metrics)

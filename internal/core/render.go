@@ -229,6 +229,46 @@ func RenderDirtyLogFigure(f DirtyLogFigure) string {
 	return b.String()
 }
 
+// RenderKSMShardFigure prints the ksmshard sweep: one row per workload ×
+// shard count, outcomes identical down the shard axis with the per-shard
+// work split alongside.
+func RenderKSMShardFigure(f KSMShardFigure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", strings.ToUpper(f.ID), f.Title)
+	t := &report.Table{Headers: []string{
+		"Workload", "Guests", "Shards", "KSM saving MB", "Merges",
+		"Pages scanned", "Full scans", "Scan CPU %", "Per-shard scanned",
+	}}
+	for _, r := range f.Rows {
+		t.AddRow(
+			r.Workload,
+			fmt.Sprintf("%d", r.Guests),
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%.1f", r.SharingMB),
+			fmt.Sprintf("%d", r.Merges),
+			fmt.Sprintf("%d", r.PagesScanned),
+			fmt.Sprintf("%d", r.FullScans),
+			fmt.Sprintf("%.1f", r.ScanCPUPct),
+			shardSplit(r.ShardPagesScanned),
+		)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nOutcome columns are identical at every shard count; sharding buys scan-pass wall time (BENCH_ksmshard.json), never different merges.\n")
+	return b.String()
+}
+
+// shardSplit formats a per-shard counter vector as "a/b/c".
+func shardSplit(counts []uint64) string {
+	var b strings.Builder
+	for i, c := range counts {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
 // RenderJITShareFigure prints the jitshare sweep: one row per workload ×
 // sharing mode with the code-area sharing ratio after warm-up and at the
 // end of steady state.

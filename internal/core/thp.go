@@ -84,6 +84,7 @@ func THPTradeoff(o Options) THPFigure {
 						THPPolicy:     pol.policy,
 						THPKSMSplit:   pol.split,
 						EnableMetrics: o.Telemetry != nil,
+						KSMShards:     o.KSMShards,
 					}
 					if o.Quick {
 						cfg.SteadyRounds = 15

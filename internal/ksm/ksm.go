@@ -90,6 +90,13 @@ type Config struct {
 	// without the rings the scanner stays linear forever. Off (the default),
 	// behaviour is byte-identical to the linear scanner.
 	IncrementalScan bool
+	// Shards splits the merge state — the stable tree and the unstable index
+	// — into this many partitions routed by checksum % Shards, scanned by a
+	// bounded worker pool (one worker per shard with work; see shard.go).
+	// 0 or 1 keeps the single-threaded scanner. Merge outcomes, statistics
+	// and frame allocation order are byte-identical at every shard count;
+	// only wall-clock scan time changes. DESIGN.md §5f has the invariants.
+	Shards int
 }
 
 // fullPassesBeforeIncremental is how many consecutive completed full passes
@@ -213,12 +220,26 @@ type KSM struct {
 	// recently; nil between passes so every pass resets each ring once.
 	ringVM *hypervisor.VMProcess
 
-	stable    *stableTreap
-	unstable  map[uint64][]unstableEntry
-	unstableN int // entries across all unstable buckets (telemetry gauge)
+	// shards holds the checksum-partitioned merge state (stable treaps,
+	// unstable indexes) — one entry when unsharded. See shard.go.
+	shards []*scanShard
 	// checksums remembers the last-seen checksum per page for the
 	// volatility gate.
 	checksums map[pageKey]uint64
+
+	// vms lists the VMs with at least one registered region, in first-
+	// registration order; vmRegs counts each VM's live regions so Unregister
+	// knows when to drop one. The dirty-ring-depth gauge walks vms directly
+	// instead of allocating a per-sample dedup map over regions.
+	vms    []*hypervisor.VMProcess
+	vmRegs map[*hypervisor.VMProcess]int
+
+	// candBuf, wrapCand and shardIdx are reusable scratch for the batch
+	// pipeline (shard.go); each batch is fully consumed before the next
+	// collection reuses them.
+	candBuf  []candidate
+	wrapCand candidate
+	shardIdx [][]int32
 
 	running bool
 	started simclock.Time
@@ -247,14 +268,21 @@ func New(host *hypervisor.Host, cfg Config) *KSM {
 	if cfg.SleepMillis <= 0 {
 		panic(fmt.Sprintf("ksm: SleepMillis = %d", cfg.SleepMillis))
 	}
+	shardN := cfg.Shards
+	if shardN <= 0 {
+		shardN = 1
+	}
 	k := &KSM{
 		host:      host,
 		cfg:       cfg,
 		regSet:    make(map[hypervisor.MergeableRegion]struct{}),
-		stable:    newStableTreap(host.Phys()),
-		unstable:  make(map[uint64][]unstableEntry),
+		shards:    make([]*scanShard, shardN),
 		checksums: make(map[pageKey]uint64),
 		needFull:  make(map[*hypervisor.VMProcess]bool),
+		vmRegs:    make(map[*hypervisor.VMProcess]int),
+	}
+	for i := range k.shards {
+		k.shards[i] = newScanShard(host.Phys(), i)
 	}
 	host.OnCOWBreak = k.onCOWBreak
 	return k
@@ -289,6 +317,9 @@ func (k *KSM) Register(vm *hypervisor.VMProcess) {
 		k.registeredPages += int(reg.End - reg.Start)
 		if reg.Start < reg.End {
 			k.scannable++
+		}
+		if k.vmRegs[reg.VM]++; k.vmRegs[reg.VM] == 1 {
+			k.vms = append(k.vms, reg.VM)
 		}
 		added = true
 	}
@@ -326,6 +357,15 @@ func (k *KSM) Unregister(vm *hypervisor.VMProcess) {
 			if reg.Start < reg.End {
 				k.scannable--
 			}
+			if k.vmRegs[vm]--; k.vmRegs[vm] == 0 {
+				delete(k.vmRegs, vm)
+				for vi, v := range k.vms {
+					if v == vm {
+						k.vms = append(k.vms[:vi], k.vms[vi+1:]...)
+						break
+					}
+				}
+			}
 			if i < k.regionIdx {
 				newIdx--
 			} else if i == k.regionIdx {
@@ -352,19 +392,21 @@ func (k *KSM) Unregister(vm *hypervisor.VMProcess) {
 			delete(k.checksums, key)
 		}
 	}
-	for sum, bucket := range k.unstable {
-		keptEnts := bucket[:0]
-		for _, ent := range bucket {
-			if ent.key.vm == vm {
-				k.unstableN--
-				continue
+	for _, s := range k.shards {
+		for sum, bucket := range s.unstable {
+			keptEnts := bucket[:0]
+			for _, ent := range bucket {
+				if ent.key.vm == vm {
+					s.unstableN--
+					continue
+				}
+				keptEnts = append(keptEnts, ent)
 			}
-			keptEnts = append(keptEnts, ent)
-		}
-		if len(keptEnts) == 0 {
-			delete(k.unstable, sum)
-		} else {
-			k.unstable[sum] = keptEnts
+			if len(keptEnts) == 0 {
+				delete(s.unstable, sum)
+			} else {
+				s.unstable[sum] = keptEnts
+			}
 		}
 	}
 	delete(k.needFull, vm)
@@ -394,10 +436,14 @@ func (k *KSM) Unregister(vm *hypervisor.VMProcess) {
 	// The VM's stable pages lose their mappers when KillVM runs; let the
 	// next incremental round prune the tree (full passes always do).
 	k.stableDirty = true
-	if wrapped && !k.incremental && len(k.regions) > 0 {
+	if wrapped && !k.incremental {
 		// The cursor was inside (or past) the removed trailing region, so
 		// every surviving region has been fully scanned this pass: the pass
-		// boundary that the wrap used to swallow.
+		// boundary that the wrap used to swallow. That holds for an emptied
+		// scan list too — vacuously, all zero survivors were scanned — and
+		// skipping endPass there (as an earlier version did) lost the
+		// FullScans/streak accounting and the unstable-index drop exactly
+		// when the last VM went away.
 		k.endPass()
 	}
 }
@@ -457,14 +503,16 @@ func (k *KSM) Stats() Stats {
 	s.PagesShared = 0
 	s.PagesSharing = 0
 	pm := k.host.Phys()
-	k.stable.walk(func(f mem.FrameID) {
-		mappers := pm.RefCount(f) - 1 // one reference belongs to the tree
-		if mappers <= 0 {
-			return
-		}
-		s.PagesShared++
-		s.PagesSharing += mappers
-	})
+	for _, sh := range k.shards {
+		sh.stable.walk(func(f mem.FrameID) {
+			mappers := pm.RefCount(f) - 1 // one reference belongs to the tree
+			if mappers <= 0 {
+				return
+			}
+			s.PagesShared++
+			s.PagesSharing += mappers
+		})
+	}
 	s.SavedBytes = int64(s.PagesSharing-s.PagesShared) * int64(k.host.PageSize())
 	// Elapsed stall time is the scheduled total minus whatever part of the
 	// current window is still in the future.
@@ -496,6 +544,21 @@ func (k *KSM) ScanChunk(n int) {
 		k.scanIncremental(n)
 		return
 	}
+	k.scanLinear(n)
+}
+
+// scanLinear spends a wake-up's budget on the circular cursor. Pages are
+// collected into batches and run through the (possibly sharded) merge
+// pipeline; batches break at pass boundaries so endPass bookkeeping — the
+// unstable-index drop, the prunes, the pass snapshot — lands between the
+// scans exactly where the page-at-a-time scanner put it. One quirk is
+// preserved deliberately: a pass boundary fires *before* the page whose
+// consumption wrapped the cursor is scanned, so that page is processed after
+// endPass, in linear semantics, even when endPass just switched the scanner
+// to incremental mode (the remaining budget then belongs to the incremental
+// queue starting next wake-up; unreachable with IncrementalScan off, so
+// off-mode CPU accounting is unchanged).
+func (k *KSM) scanLinear(n int) {
 	if k.scannable == 0 {
 		return
 	}
@@ -505,27 +568,67 @@ func (k *KSM) ScanChunk(n int) {
 		k.regionIdx = 0
 		k.cursor = 0
 	}
-	charged := n
-	for i := 0; i < n; i++ {
-		if k.incremental {
-			// endPass switched modes mid-chunk; the remaining budget belongs
-			// to the incremental queue starting next wake-up. (Unreachable
-			// with IncrementalScan off, so off-mode CPU accounting is
-			// unchanged.)
-			charged = i
+	scanned := 0
+	// forceOne: an endPass fired out of the empty-region skip walk, before
+	// its iteration's page was found; that page still scans before any mode
+	// switch is honored, as in the page-at-a-time loop.
+	forceOne := false
+	for scanned < n {
+		if k.incremental && !forceOne {
 			break
 		}
+		budget := n - scanned
+		if forceOne {
+			budget = 1
+			forceOne = false
+		}
+		cands, wrap, passEnd, resync := k.collectLinear(budget)
+		k.processBatch(cands, false)
+		scanned += len(cands)
+		if passEnd {
+			k.endPass()
+			if wrap == nil && !resync {
+				forceOne = true
+			}
+		}
+		if wrap != nil {
+			one := k.candBuf[:0]
+			one = append(one, *wrap)
+			k.processBatch(one, false)
+			scanned++
+		}
+		if resync {
+			// Every region was empty: the maintained count was stale
+			// (possible only when the scan list is rewritten directly,
+			// bypassing Register/Unregister). Resync happened in collect;
+			// stop without charging, as the page-at-a-time loop did.
+			return
+		}
+	}
+	k.stats.CPUBusy += simclock.Time(int64(scanned) * int64(k.cfg.ScanCostNanos) / 1000)
+}
+
+// collectLinear consumes up to budget pages from the linear cursor in scan
+// order, performing the walk's side effects (region advance, dirty-ring
+// resets) as it goes. It stops early at a pass boundary: passEnd reports
+// that endPass is due, and wrap — when non-nil — is the page consumed in the
+// boundary iteration, to be scanned by the caller after endPass runs. A
+// boundary hit inside the empty-region skip walk returns passEnd with a nil
+// wrap (no page was consumed yet). resync reports the all-empty defense
+// path; the scannable count has been zeroed.
+func (k *KSM) collectLinear(budget int) (cands []candidate, wrap *candidate, passEnd, resync bool) {
+	k.candBuf = k.candBuf[:0]
+	for len(k.candBuf) < budget {
 		skips := 0
 		for k.regions[k.regionIdx].Start >= k.regions[k.regionIdx].End {
 			skips++
 			if skips >= len(k.regions) {
-				// Every region is empty: the maintained count was stale
-				// (possible only when the scan list is rewritten directly,
-				// bypassing Register/Unregister). Resync and stop.
 				k.scannable = 0
-				return
+				return k.candBuf, nil, false, true
 			}
-			k.advanceRegion()
+			if k.advanceRegion() {
+				return k.candBuf, nil, true, false
+			}
 		}
 		reg := k.regions[k.regionIdx]
 		if reg.VM != k.ringVM {
@@ -543,12 +646,14 @@ func (k *KSM) ScanChunk(n int) {
 		vpn := k.cursor
 		k.cursor++
 		if k.cursor >= reg.End {
-			k.advanceRegion()
+			if k.advanceRegion() {
+				k.wrapCand = candidate{vm: reg.VM, vpn: vpn, shard: -1}
+				return k.candBuf, &k.wrapCand, true, false
+			}
 		}
-		k.scanPage(reg.VM, vpn)
-		k.stats.PagesScanned++
+		k.candBuf = append(k.candBuf, candidate{vm: reg.VM, vpn: vpn, shard: -1})
 	}
-	k.stats.CPUBusy += simclock.Time(int64(charged) * int64(k.cfg.ScanCostNanos) / 1000)
+	return k.candBuf, nil, false, false
 }
 
 // scanIncremental spends one wake-up's budget on the rescan queue. A new
@@ -561,24 +666,28 @@ func (k *KSM) scanIncremental(n int) {
 	if len(k.incQueue) == 0 {
 		k.buildRound()
 	}
-	scanned := 0
-	for scanned < n && len(k.incQueue) > 0 {
+	cands := k.candBuf[:0]
+	for len(cands) < n && len(k.incQueue) > 0 {
 		r := &k.incQueue[0]
-		vm, vpn := r.vm, r.start
+		cands = append(cands, candidate{vm: r.vm, vpn: r.start, shard: -1})
 		r.start++
 		if r.start >= r.end {
 			k.incQueue = k.incQueue[1:]
 		}
-		if k.scanPage(vm, vpn) {
-			k.deferVolatile(pageKey{vm: vm, vpn: vpn})
-		}
-		scanned++
-		k.stats.PagesScanned++
-		k.stats.IncrementalScanned++
 	}
-	if scanned > 0 {
-		k.stats.CPUBusy += simclock.Time(int64(scanned) * int64(k.cfg.ScanCostNanos) / 1000)
+	if len(k.incQueue) == 0 {
+		// Drop the drained round's backing array: the [1:] reslicing above
+		// pins every consumed range (head included) until the array is
+		// released, so a round that merely shrank the slice would hold the
+		// whole round's memory across the converged idle phase.
+		k.incQueue = nil
 	}
+	k.candBuf = cands
+	if len(cands) == 0 {
+		return
+	}
+	k.processBatch(cands, true)
+	k.stats.CPUBusy += simclock.Time(int64(len(cands)) * int64(k.cfg.ScanCostNanos) / 1000)
 }
 
 // buildRound assembles the next incremental work queue: each VM's dirty ring
@@ -589,11 +698,16 @@ func (k *KSM) scanIncremental(n int) {
 // retained unstable index is compacted only when it outgrows the registered
 // page count — so an idle round's cost is proportional to churn.
 func (k *KSM) buildRound() {
+	// Re-snapshot the per-pass baseline each round. endPass never runs again
+	// once the scanner goes incremental, so without this the ksm.pass.*
+	// gauges silently became cumulative-since-switch; a round is the
+	// incremental analogue of a pass.
+	k.passStart = k.stats
 	if k.stableDirty {
 		k.pruneStaleStable()
 		k.stableDirty = false
 	}
-	if k.unstableN > k.registeredPages {
+	if k.unstableTotal() > k.registeredPages {
 		k.compactUnstable()
 	}
 	pending := k.incPending
@@ -692,15 +806,17 @@ func (k *KSM) observeDrain(vm *hypervisor.VMProcess, pages int, overflowed bool)
 	vm.ObserveDirtyDrain(pages)
 }
 
-// advanceRegion moves the cursor to the next region, ending the pass when it
-// wraps around the scan list.
-func (k *KSM) advanceRegion() {
+// advanceRegion moves the cursor to the next region, reporting a wrap of the
+// scan list — a completed pass. The caller runs endPass once any candidates
+// collected before the boundary have been scanned.
+func (k *KSM) advanceRegion() bool {
 	k.regionIdx++
 	k.cursor = 0
 	if k.regionIdx >= len(k.regions) {
 		k.regionIdx = 0
-		k.endPass()
+		return true
 	}
+	return false
 }
 
 // endPass finishes a full scan of all regions: stable nodes whose last
@@ -720,8 +836,10 @@ func (k *KSM) endPass() {
 	if switching {
 		k.incremental = true
 	} else {
-		k.unstable = make(map[uint64][]unstableEntry)
-		k.unstableN = 0
+		for _, s := range k.shards {
+			s.unstable = make(map[uint64][]unstableEntry)
+			s.unstableN = 0
+		}
 	}
 	k.pruneStaleStable()
 	pm := k.host.Phys()
@@ -737,16 +855,38 @@ func (k *KSM) endPass() {
 
 // pruneStaleStable drops stable nodes nobody maps anymore (only the tree's
 // own reference is left). Full passes run it unconditionally; incremental
-// rounds only when stableDirty says sharing may have been lost.
+// rounds only when stableDirty says sharing may have been lost. Frames are
+// freed in global content-key order — the frame-free order feeds the
+// allocator's free stack, so it must not depend on the shard count — but only
+// the frames actually freed need that order, so the stale candidates are
+// collected first (per-shard in-order walks) and only they are merged into
+// content order. A pass with nothing to prune therefore costs one refcount
+// check per stable node regardless of the shard count, instead of the
+// O(nodes × shards) cross-shard merge an ordered full iteration would pay.
 func (k *KSM) pruneStaleStable() {
 	pm := k.host.Phys()
-	for _, f := range k.stable.frames() {
-		if pm.RefCount(f) == 1 { // only the tree holds it
-			k.stable.remove(f)
-			pm.SetKSM(f, false)
-			pm.DecRef(f)
-			k.stats.StalePruned++
-		}
+	var stale []mem.FrameID
+	for _, s := range k.shards {
+		s.stable.walk(func(f mem.FrameID) {
+			if pm.RefCount(f) == 1 { // only the tree holds it
+				stale = append(stale, f)
+			}
+		})
+	}
+	if len(stale) == 0 {
+		return
+	}
+	if len(k.shards) > 1 {
+		// Per-shard walks are each in content order already; a single-shard
+		// walk needs no sort at all (matching the seed scanner's cost). Equal
+		// content cannot appear twice in the trees, so the order is total.
+		sort.Slice(stale, func(i, j int) bool { return pm.Compare(stale[i], stale[j]) < 0 })
+	}
+	for _, f := range stale {
+		k.removeStable(f)
+		pm.SetKSM(f, false)
+		pm.DecRef(f)
+		k.stats.StalePruned++
 	}
 }
 
@@ -756,20 +896,22 @@ func (k *KSM) pruneStaleStable() {
 // bounds it by the registered page count instead.
 func (k *KSM) compactUnstable() {
 	pm := k.host.Phys()
-	for sum, bucket := range k.unstable {
-		kept := bucket[:0]
-		for _, ent := range bucket {
-			pte, ok := ent.key.vm.ResidentPTE(ent.key.vpn)
-			if !ok || pm.IsKSM(pte.Frame) || pm.Checksum(pte.Frame) != ent.checksum {
-				k.unstableN--
-				continue
+	for _, s := range k.shards {
+		for sum, bucket := range s.unstable {
+			kept := bucket[:0]
+			for _, ent := range bucket {
+				pte, ok := ent.key.vm.ResidentPTE(ent.key.vpn)
+				if !ok || pm.IsKSM(pte.Frame) || pm.Checksum(pte.Frame) != ent.checksum {
+					s.unstableN--
+					continue
+				}
+				kept = append(kept, ent)
 			}
-			kept = append(kept, ent)
-		}
-		if len(kept) == 0 {
-			delete(k.unstable, sum)
-		} else {
-			k.unstable[sum] = kept
+			if len(kept) == 0 {
+				delete(s.unstable, sum)
+			} else {
+				s.unstable[sum] = kept
+			}
 		}
 	}
 }
@@ -796,6 +938,8 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) bool {
 
 	key := pageKey{vm: vm, vpn: vpn}
 	sum := pm.Checksum(frame)
+	sh := k.shardOf(sum)
+	sh.scanned++
 	if k.cfg.ChecksumGate {
 		last, seen := k.checksums[key]
 		k.checksums[key] = sum
@@ -805,8 +949,9 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) bool {
 		}
 	}
 
-	// Stable tree first.
-	if stableFrame, hit := k.stable.lookup(frame); hit {
+	// Stable tree first. Byte-identical content has an identical checksum,
+	// so any stable frame matching this page lives in this shard's tree.
+	if stableFrame, hit := sh.stable.lookup(frame); hit {
 		pm.IncRef(stableFrame)
 		vm.RemapShared(vpn, stableFrame)
 		k.stats.StableMerges++
@@ -814,7 +959,7 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) bool {
 	}
 
 	// Unstable index.
-	bucket := k.unstable[sum]
+	bucket := sh.unstable[sum]
 	selfSeen := false
 	for bi, ent := range bucket {
 		if ent.key == key {
@@ -854,7 +999,7 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) bool {
 		pm.SetKSM(otherFrame, true)
 		ent.key.vm.WriteProtect(ent.key.vpn)
 		pm.IncRef(otherFrame) // tree reference
-		k.stable.insert(otherFrame)
+		sh.stable.insert(otherFrame)
 
 		pm.IncRef(otherFrame)
 		vm.RemapShared(vpn, otherFrame)
@@ -862,13 +1007,13 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) bool {
 
 		// Drop the promoted entry from the bucket.
 		bucket = append(bucket[:bi], bucket[bi+1:]...)
-		k.unstable[sum] = bucket
-		k.unstableN--
+		sh.unstable[sum] = bucket
+		sh.unstableN--
 		return false
 	}
 	if !selfSeen {
-		k.unstable[sum] = append(bucket, unstableEntry{key: key, checksum: sum})
-		k.unstableN++
+		sh.unstable[sum] = append(bucket, unstableEntry{key: key, checksum: sum})
+		sh.unstableN++
 	}
 	return false
 }
@@ -886,6 +1031,8 @@ func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.Fram
 	}
 	pm := k.host.Phys()
 	sum := pm.Checksum(frame)
+	sh := k.shardOf(sum)
+	sh.scanned++
 	if k.cfg.ChecksumGate {
 		// Same volatility gate as base pages: splitting a huge page for a
 		// still-changing subpage would only trade TLB reach for a merge that
@@ -901,17 +1048,23 @@ func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.Fram
 	key := pageKey{vm: vm, vpn: vpn}
 	dup := false
 	selfSeen := false
-	if _, hit := k.stable.lookup(frame); hit {
+	if _, hit := sh.stable.lookup(frame); hit {
 		dup = true
 	} else {
-		for _, ent := range k.unstable[sum] {
+		for _, ent := range sh.unstable[sum] {
 			if ent.key == key {
 				// Retained-index revisit, as in scanPage.
 				selfSeen = true
 				continue
 			}
 			otherFrame, ok := ent.key.vm.ResolveResident(ent.key.vpn)
-			if !ok || pm.Checksum(otherFrame) != ent.checksum {
+			if !ok || pm.IsKSM(otherFrame) || pm.Checksum(otherFrame) != ent.checksum {
+				// Stale, exactly as in scanPage — and the IsKSM test matters
+				// just as much here: a partner already promoted to the stable
+				// tree can still checksum-match through its old index entry,
+				// and without the test it validated a dup verdict (splitting
+				// a huge page) that the stable lookup above had already
+				// rejected on content.
 				continue
 			}
 			if k.cfg.HashOnly || pm.Equal(frame, otherFrame) {
@@ -927,8 +1080,8 @@ func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.Fram
 		// both sides are split and merged (the partner-huge path in
 		// scanPage).
 		if !selfSeen {
-			k.unstable[sum] = append(k.unstable[sum], unstableEntry{key: key, checksum: sum})
-			k.unstableN++
+			sh.unstable[sum] = append(sh.unstable[sum], unstableEntry{key: key, checksum: sum})
+			sh.unstableN++
 		}
 		return false
 	}
@@ -968,8 +1121,8 @@ func (k *KSM) Instrument(r *metrics.Registry) {
 	r.Gauge("ksm.pages_unmerged", func() float64 { return float64(k.stats.COWBreaks) })
 	r.Gauge("ksm.pages_volatile", func() float64 { return float64(k.stats.ChecksumSkips) })
 	r.Gauge("ksm.full_scans", func() float64 { return float64(k.stats.FullScans) })
-	r.Gauge("ksm.stable_tree_size", func() float64 { return float64(k.stable.size) })
-	r.Gauge("ksm.unstable_entries", func() float64 { return float64(k.unstableN) })
+	r.Gauge("ksm.stable_tree_size", func() float64 { return float64(k.stableSize()) })
+	r.Gauge("ksm.unstable_entries", func() float64 { return float64(k.unstableTotal()) })
 	r.Gauge("ksm.pages_shared", func() float64 { return float64(snapshot().PagesShared) })
 	r.Gauge("ksm.pages_sharing", func() float64 { return float64(snapshot().PagesSharing) })
 	r.Gauge("ksm.saved_bytes", func() float64 { return float64(snapshot().SavedBytes) })
@@ -988,18 +1141,15 @@ func (k *KSM) Instrument(r *metrics.Registry) {
 	r.Gauge("ksm.pass.sharing_lost_pages", func() float64 {
 		return float64(k.stats.HugeSkips - k.passStart.HugeSkips)
 	})
-	r.Gauge("ksm.dirty_ring_depth", func() float64 {
-		depth := 0
-		seen := make(map[*hypervisor.VMProcess]struct{}, len(k.regions))
-		for _, reg := range k.regions {
-			if _, dup := seen[reg.VM]; dup {
-				continue
-			}
-			seen[reg.VM] = struct{}{}
-			depth += reg.VM.DirtyLogDepth()
+	r.Gauge("ksm.dirty_ring_depth", func() float64 { return float64(k.DirtyRingDepth()) })
+	if len(k.shards) > 1 {
+		for i, s := range k.shards {
+			s := s
+			r.Gauge(fmt.Sprintf("ksm.shard%d.pages_scanned", i), func() float64 { return float64(s.scanned) })
+			r.Gauge(fmt.Sprintf("ksm.shard%d.stable_tree_size", i), func() float64 { return float64(s.stable.size) })
+			r.Gauge(fmt.Sprintf("ksm.shard%d.unstable_entries", i), func() float64 { return float64(s.unstableN) })
 		}
-		return float64(depth)
-	})
+	}
 	r.Gauge("ksm.dirty_ring_overflows", func() float64 { return float64(k.stats.RingOverflows) })
 	r.Gauge("ksm.dirty_drained", func() float64 { return float64(k.stats.DirtyDrained) })
 	r.Gauge("ksm.pages_scanned_incremental", func() float64 {
@@ -1021,9 +1171,33 @@ func (k *KSM) onCOWBreak(_ *hypervisor.VMProcess, _ mem.VPN, old mem.FrameID) {
 	}
 }
 
-// StableFrames exposes the stable tree contents (for the analyzer and
-// tests).
-func (k *KSM) StableFrames() []mem.FrameID { return k.stable.frames() }
+// DirtyRingDepth sums the registered VMs' dirty-ring depths. It walks the
+// maintained unique-VM list, so a metrics sample allocates nothing (an
+// earlier version rebuilt a per-VM dedup map over the region list on every
+// sample).
+func (k *KSM) DirtyRingDepth() int {
+	depth := 0
+	for _, vm := range k.vms {
+		depth += vm.DirtyLogDepth()
+	}
+	return depth
+}
+
+// ShardPagesScanned reports each shard's routed-candidate count — pages
+// whose checksum reached the merge pipeline — in shard order. The split is
+// deterministic at every batch size and worker interleaving (routing is a
+// pure function of content).
+func (k *KSM) ShardPagesScanned() []uint64 {
+	out := make([]uint64, len(k.shards))
+	for i, s := range k.shards {
+		out[i] = s.scanned
+	}
+	return out
+}
+
+// StableFrames exposes the stable tree contents in global content-key order
+// (for the analyzer and tests).
+func (k *KSM) StableFrames() []mem.FrameID { return k.stableFramesOrdered() }
 
 // Unmerge undoes all sharing, like writing 2 to /sys/kernel/mm/ksm/run:
 // every mapping of a stable page gets its own private copy again, and the
@@ -1041,15 +1215,19 @@ func (k *KSM) Unmerge() {
 			reg.VM.TouchGuestPage(uint64(vpn-reg.Start), true)
 		}
 	}
-	// All stable frames are now referenced only by the tree.
-	for _, f := range k.stable.frames() {
-		k.stable.remove(f)
+	// All stable frames are now referenced only by the trees. Free them in
+	// content-key order, as the prune does, so the free stack is the same at
+	// every shard count.
+	for _, f := range k.stableFramesOrdered() {
+		k.removeStable(f)
 		pm.SetKSM(f, false)
 		pm.DecRef(f)
 		k.stats.StalePruned++
 	}
-	k.unstable = make(map[uint64][]unstableEntry)
-	k.unstableN = 0
+	for _, s := range k.shards {
+		s.unstable = make(map[uint64][]unstableEntry)
+		s.unstableN = 0
+	}
 	k.checksums = make(map[pageKey]uint64)
 	// Unmerging invalidates everything incremental mode assumed converged:
 	// fall back to linear scanning and earn the switch again.

@@ -236,7 +236,7 @@ func TestSetPagesToScan(t *testing.T) {
 
 func TestStableTreapOrderAndRemoval(t *testing.T) {
 	pm := mem.NewPhysMem(64*pg, pg)
-	tr := newStableTreap(pm)
+	tr := newStableTreap(pm, 0)
 	var frames []mem.FrameID
 	for i := 0; i < 20; i++ {
 		id, _ := pm.Alloc()

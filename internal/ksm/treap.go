@@ -20,8 +20,16 @@ type treapNode struct {
 	left, right *treapNode
 }
 
-func newStableTreap(pm *mem.PhysMem) *stableTreap {
-	return &stableTreap{pm: pm, prSrc: mem.HashString("ksm-stable-treap")}
+// newStableTreap creates a shard's tree. Shard 0 keeps the historical
+// priority seed so a single-shard scanner's tree is bit-for-bit the one the
+// unsharded scanner built; higher shards salt it so their priority streams
+// are independent.
+func newStableTreap(pm *mem.PhysMem, shard int) *stableTreap {
+	seed := mem.HashString("ksm-stable-treap")
+	if shard > 0 {
+		seed = mem.Combine(seed, mem.Seed(shard))
+	}
+	return &stableTreap{pm: pm, prSrc: seed}
 }
 
 func (t *stableTreap) nextPrio() uint64 {
@@ -31,9 +39,15 @@ func (t *stableTreap) nextPrio() uint64 {
 
 // lookup finds a stable frame with content byte-identical to probe.
 func (t *stableTreap) lookup(probe mem.FrameID) (mem.FrameID, bool) {
+	return t.lookupWith(probe, t.pm.Compare)
+}
+
+// lookupWith is lookup with a caller-supplied comparator: shard workers pass
+// an mem.ROView comparator so concurrent lookups never touch pool state.
+func (t *stableTreap) lookupWith(probe mem.FrameID, cmp func(a, b mem.FrameID) int) (mem.FrameID, bool) {
 	n := t.root
 	for n != nil {
-		switch c := t.pm.Compare(probe, n.frame); {
+		switch c := cmp(probe, n.frame); {
 		case c == 0:
 			return n.frame, true
 		case c < 0:
@@ -48,21 +62,26 @@ func (t *stableTreap) lookup(probe mem.FrameID) (mem.FrameID, bool) {
 // insert adds a stable frame. Content must not already be present; the
 // caller looks up first.
 func (t *stableTreap) insert(frame mem.FrameID) {
-	t.root = t.insertAt(t.root, &treapNode{frame: frame, prio: t.nextPrio()})
+	t.insertWith(frame, t.pm.Compare)
+}
+
+// insertWith is insert with a caller-supplied comparator (see lookupWith).
+func (t *stableTreap) insertWith(frame mem.FrameID, cmp func(a, b mem.FrameID) int) {
+	t.root = t.insertAt(t.root, &treapNode{frame: frame, prio: t.nextPrio()}, cmp)
 	t.size++
 }
 
-func (t *stableTreap) insertAt(n, nn *treapNode) *treapNode {
+func (t *stableTreap) insertAt(n, nn *treapNode, cmp func(a, b mem.FrameID) int) *treapNode {
 	if n == nil {
 		return nn
 	}
-	if t.pm.Compare(nn.frame, n.frame) < 0 {
-		n.left = t.insertAt(n.left, nn)
+	if cmp(nn.frame, n.frame) < 0 {
+		n.left = t.insertAt(n.left, nn, cmp)
 		if n.left.prio > n.prio {
 			n = rotateRight(n)
 		}
 	} else {
-		n.right = t.insertAt(n.right, nn)
+		n.right = t.insertAt(n.right, nn, cmp)
 		if n.right.prio > n.prio {
 			n = rotateLeft(n)
 		}

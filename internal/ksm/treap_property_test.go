@@ -14,7 +14,7 @@ import (
 func TestPropertyTreapMatchesReferenceSet(t *testing.T) {
 	f := func(ops []uint16) bool {
 		pm := mem.NewPhysMem(512*pg, pg)
-		tr := newStableTreap(pm)
+		tr := newStableTreap(pm, 0)
 		ref := map[mem.FrameID]bool{}
 		var frames []mem.FrameID
 		for _, op := range ops {
