@@ -42,8 +42,10 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel cluster runs (0 = GOMAXPROCS, 1 = fully sequential)")
 	timeline := flag.Bool("timeline", false, "append an ASCII timeline of sampled metrics after each experiment")
 	metricsCSV := flag.Bool("metrics-csv", false, "append the sampled metrics series as CSV after each experiment")
-	thpFlag := flag.String("thp", "never", "transparent huge page policy: never|madvise|always")
+	thpFlag := flag.String("thp", "never", "transparent huge page policy: never|madvise|always|fhpm")
 	thpKSMSplit := flag.Bool("thp-ksm-split", false, "let KSM split huge pages over verified duplicate content")
+	thpMaxPtesNone := flag.Int("thp-max-ptes-none", 0, "khugepaged max_ptes_none collapse budget (0 = default 64)")
+	tlbEntries := flag.Int("tlb-entries", 0, "modeled TLB size for the reach estimate (0 = default 1024)")
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos sweep (guest kills, demand spikes, KSM stalls)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault schedule seed for -chaos and -datacenter (fixed seed = byte-identical output)")
 	incremental := flag.Bool("incremental", false, "enable dirty-ring incremental KSM rescans on every cluster")
@@ -78,6 +80,8 @@ func main() {
 		Progress:        printProgress,
 		THPPolicy:       thpPolicy,
 		THPKSMSplit:     *thpKSMSplit,
+		THPMaxPtesNone:  *thpMaxPtesNone,
+		TLBEntries:      *tlbEntries,
 		ChaosSeed:       *chaosSeed,
 		IncrementalScan: *incremental,
 		JITShare:        *jitShare,
@@ -100,7 +104,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `tpsim — rerun the ISPASS 2013 TPS-in-Java experiments
 
 usage: tpsim [-scale N] [-seed S] [-quick] [-jobs N] [-timeline] [-metrics-csv]
-             [-thp never|madvise|always] [-thp-ksm-split] [-incremental]
+             [-thp never|madvise|always|fhpm] [-thp-ksm-split]
+             [-thp-max-ptes-none N] [-tlb-entries N] [-incremental]
              [-jitshare] [-ksm-shards N] [-chaos] [-chaos-seed S] [-datacenter]
              [-hosts N] [-net-gbps G] <experiment>...
 
@@ -125,7 +130,12 @@ experiments:
                    datacenter
 
 -thp applies a huge-page policy to the paper experiments themselves
-(thp-tradeoff sweeps its own policies and ignores the flag).
+(thp-tradeoff sweeps its own policies and ignores the flag). The fhpm policy
+splits and re-promotes huge pages per subpage: KSM carves only verified
+duplicate subpages and khugepaged demotes cold zero subpages, so the rest of
+the block keeps its TLB reach. -thp-max-ptes-none bounds how many absent
+pages a collapse (or fhpm re-absorption) may zero-fill; -tlb-entries sizes
+the analyzer's modeled TLB for the reach estimate.
 -incremental likewise applies dirty-ring incremental KSM rescans to the paper
 experiments (dirtylog sweeps both modes itself and ignores the flag).
 -jitshare attaches the ShareJIT-style shared code archive to every JVM of the

@@ -91,8 +91,16 @@ type ClusterConfig struct {
 	THPPolicy thp.Policy
 	// THPKSMSplit lets KSM split huge mappings back to base pages when it
 	// verifies duplicate content — the sharing-recovery side of the
-	// THP-vs-KSM tradeoff.
+	// THP-vs-KSM tradeoff. Ignored under thp.PolicyFHPM, which carries its
+	// own per-subpage splitting (ksm.Config.PartialSplitHuge).
 	THPKSMSplit bool
+	// THPMaxPtesNone overrides khugepaged's max_ptes_none collapse budget
+	// (0 = the thp package default). Under FHPM it also bounds how many
+	// absent carved subpages a re-absorption may zero-fill.
+	THPMaxPtesNone int
+	// TLBEntries overrides the modeled TLB size used by the analyzer's
+	// TLB-reach estimate (0 = memanalysis.TLBEntries).
+	TLBEntries int
 	// IncrementalScan turns on the host's PML-style dirty-page rings and
 	// switches the KSM scanner to dirty-ring driven incremental rescans once
 	// warm-up converges. The working-set estimates the drains produce also
@@ -245,7 +253,9 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 		Name:               "BladeCenter-LS21",
 		RAMBytes:           cfg.HostRAMBytes / int64(cfg.Scale),
 		KernelReserveBytes: HostKernelReserveBytes / int64(cfg.Scale),
-		DirtyLog:           cfg.IncrementalScan,
+		// FHPM needs the dirty rings too: its demote/promote decisions run on
+		// the per-subpage heat the ring drains feed.
+		DirtyLog: cfg.IncrementalScan || cfg.THPPolicy == thp.PolicyFHPM,
 	}, clock)
 	c := &Cluster{
 		Cfg:         cfg,
@@ -264,6 +274,9 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 	kcfg := ksm.DefaultConfig()
 	kcfg.PagesToScan = 10000
 	kcfg.SplitHugePages = cfg.THPKSMSplit
+	// Under FHPM, KSM carves just the duplicate-bearing subpage instead of
+	// dissolving the whole block (takes precedence over SplitHugePages).
+	kcfg.PartialSplitHuge = cfg.THPPolicy == thp.PolicyFHPM
 	kcfg.IncrementalScan = cfg.IncrementalScan
 	kcfg.Shards = cfg.KSMShards
 	c.Scanner = ksm.New(host, kcfg)
@@ -273,6 +286,9 @@ func BuildCluster(cfg ClusterConfig) *Cluster {
 	if cfg.THPPolicy != thp.PolicyNever {
 		tcfg := thp.DefaultConfig()
 		tcfg.Policy = cfg.THPPolicy
+		if cfg.THPMaxPtesNone > 0 {
+			tcfg.MaxPtesNone = cfg.THPMaxPtesNone
+		}
 		c.THP = thp.New(host, tcfg)
 		c.THP.Start()
 	}
@@ -724,7 +740,8 @@ func (c *Cluster) Run() {
 
 // Analyze freezes the current memory state through the §2 methodology.
 func (c *Cluster) Analyze() *memanalysis.Analysis {
-	return memanalysis.Analyze(c.Host, c.Kernels)
+	return memanalysis.Analyze(c.Host, c.Kernels,
+		memanalysis.WithTLBEntries(c.Cfg.TLBEntries))
 }
 
 // ScaleBytes converts simulated bytes back into paper units.

@@ -57,11 +57,13 @@ func THPFigureTable(f THPFigure) *report.Table {
 	t := &report.Table{
 		Title: f.ID,
 		Headers: []string{"guests", "policy", "huge_mb", "huge_coverage_pct", "tlb_reach_mb",
-			"ksm_saving_mb", "sharing_pages", "collapses", "splits", "ksm_skips"},
+			"ksm_saving_mb", "sharing_pages", "collapses", "splits",
+			"partial_splits", "reabsorbs", "ksm_skips"},
 	}
 	for _, r := range f.Rows {
 		t.AddRow(r.Guests, r.Policy, r.HugeMB, r.HugeCoveragePct, r.TLBReachMB,
-			r.SharingMB, r.SharingPages, fmt.Sprint(r.Collapses), fmt.Sprint(r.Splits), fmt.Sprint(r.KSMSkips))
+			r.SharingMB, r.SharingPages, fmt.Sprint(r.Collapses), fmt.Sprint(r.Splits),
+			fmt.Sprint(r.PartialSplits), fmt.Sprint(r.Reabsorbs), fmt.Sprint(r.KSMSkips))
 	}
 	return t
 }

@@ -42,6 +42,13 @@ type Options struct {
 	// THPKSMSplit lets KSM split huge mappings over verified duplicate
 	// content (tpsim -thp-ksm-split).
 	THPKSMSplit bool
+	// THPMaxPtesNone overrides khugepaged's max_ptes_none collapse budget on
+	// every cluster the experiment builds (tpsim -thp-max-ptes-none, 0 =
+	// the thp package default of 64).
+	THPMaxPtesNone int
+	// TLBEntries overrides the analyzer's modeled TLB size
+	// (tpsim -tlb-entries, 0 = memanalysis.TLBEntries).
+	TLBEntries int
 	// ChaosSeed derives the chaos experiment's fault schedule
 	// (tpsim -chaos-seed). Fixed seed ⇒ byte-identical sweep output at any
 	// Jobs width. Only the chaos experiment reads it.
@@ -249,6 +256,8 @@ func dayTraderCluster(o Options, shared bool) *Cluster {
 	cfg.EnableMetrics = o.Telemetry != nil
 	cfg.THPPolicy = o.THPPolicy
 	cfg.THPKSMSplit = o.THPKSMSplit
+	cfg.THPMaxPtesNone = o.THPMaxPtesNone
+	cfg.TLBEntries = o.TLBEntries
 	cfg.IncrementalScan = o.IncrementalScan
 	cfg.JITShare = o.JITShare
 	cfg.KSMShards = o.KSMShards
@@ -296,6 +305,8 @@ func mixedCluster(o Options, shared bool) *Cluster {
 	cfg.EnableMetrics = o.Telemetry != nil
 	cfg.THPPolicy = o.THPPolicy
 	cfg.THPKSMSplit = o.THPKSMSplit
+	cfg.THPMaxPtesNone = o.THPMaxPtesNone
+	cfg.TLBEntries = o.TLBEntries
 	cfg.IncrementalScan = o.IncrementalScan
 	cfg.JITShare = o.JITShare
 	cfg.KSMShards = o.KSMShards
@@ -339,6 +350,8 @@ func tuscanyCluster(o Options, shared bool) *Cluster {
 	cfg.EnableMetrics = o.Telemetry != nil
 	cfg.THPPolicy = o.THPPolicy
 	cfg.THPKSMSplit = o.THPKSMSplit
+	cfg.THPMaxPtesNone = o.THPMaxPtesNone
+	cfg.TLBEntries = o.TLBEntries
 	cfg.IncrementalScan = o.IncrementalScan
 	cfg.JITShare = o.JITShare
 	cfg.KSMShards = o.KSMShards

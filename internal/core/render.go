@@ -106,7 +106,8 @@ func RenderTHPFigure(f THPFigure) string {
 	fmt.Fprintf(&b, "%s — %s\n\n", strings.ToUpper(f.ID), f.Title)
 	t := &report.Table{Headers: []string{
 		"Guests", "THP policy", "Huge MB", "Huge %", "Est. TLB reach MB",
-		"KSM saving MB", "Sharing pages", "Collapses", "Splits", "KSM skips",
+		"KSM saving MB", "Sharing pages", "Collapses", "Splits", "Partial",
+		"Reabsorbs", "KSM skips",
 	}}
 	for _, r := range f.Rows {
 		t.AddRow(
@@ -119,11 +120,13 @@ func RenderTHPFigure(f THPFigure) string {
 			fmt.Sprintf("%d", r.SharingPages),
 			fmt.Sprintf("%d", r.Collapses),
 			fmt.Sprintf("%d", r.Splits),
+			fmt.Sprintf("%d", r.PartialSplits),
+			fmt.Sprintf("%d", r.Reabsorbs),
 			fmt.Sprintf("%d", r.KSMSkips),
 		)
 	}
 	b.WriteString(t.String())
-	b.WriteString("\nTHP raises TLB reach by hiding 4 KB duplicates from KSM; ksm-split buys the sharing back.\n")
+	b.WriteString("\nTHP raises TLB reach by hiding 4 KB duplicates from KSM; ksm-split buys the sharing back; fhpm carves only the duplicate subpages and keeps the rest huge.\n")
 	return b.String()
 }
 

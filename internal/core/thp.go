@@ -10,8 +10,9 @@ import (
 // THPRow is one cell of the THP-vs-KSM tradeoff sweep: one policy at one
 // guest count, with both axes of the tradeoff in paper-scale units.
 type THPRow struct {
-	// Policy labels the row: "never", "madvise", "always", or "ksm-split"
-	// (always + KSM splitting huge pages over duplicates).
+	// Policy labels the row: "never", "madvise", "always", "ksm-split"
+	// (always + KSM splitting whole huge pages over duplicates), or "fhpm"
+	// (fine-grained per-subpage split/promote).
 	Policy string
 	Guests int
 	// HugeMB is guest memory backed by huge mappings; HugeCoveragePct is its
@@ -31,6 +32,11 @@ type THPRow struct {
 	Collapses uint64
 	Splits    uint64
 	KSMSkips  uint64
+	// PartialSplits counts subpages carved out of huge blocks one at a time
+	// (FHPM demotions plus KSM's per-subpage duplicate splits); Reabsorbs
+	// counts quiesced blocks promoted back to a full huge mapping.
+	PartialSplits uint64
+	Reabsorbs     uint64
 }
 
 // THPFigure is the thp-tradeoff experiment result.
@@ -52,6 +58,7 @@ var thpPolicies = []struct {
 	{"madvise", thp.PolicyMadvise, false},
 	{"always", thp.PolicyAlways, false},
 	{"ksm-split", thp.PolicyAlways, true},
+	{"fhpm", thp.PolicyFHPM, false},
 }
 
 // THPTradeoff sweeps THP policy × guest count on the DayTrader scenario and
@@ -76,15 +83,17 @@ func THPTradeoff(o Options) THPFigure {
 				Label: label,
 				Run: func() THPRow {
 					cfg := ClusterConfig{
-						Scale:         o.scale(),
-						Specs:         []workload.Spec{workload.DayTrader()},
-						NumVMs:        n,
-						SharedClasses: true,
-						BaseSeed:      o.Seed,
-						THPPolicy:     pol.policy,
-						THPKSMSplit:   pol.split,
-						EnableMetrics: o.Telemetry != nil,
-						KSMShards:     o.KSMShards,
+						Scale:          o.scale(),
+						Specs:          []workload.Spec{workload.DayTrader()},
+						NumVMs:         n,
+						SharedClasses:  true,
+						BaseSeed:       o.Seed,
+						THPPolicy:      pol.policy,
+						THPKSMSplit:    pol.split,
+						THPMaxPtesNone: o.THPMaxPtesNone,
+						TLBEntries:     o.TLBEntries,
+						EnableMetrics:  o.Telemetry != nil,
+						KSMShards:      o.KSMShards,
 					}
 					if o.Quick {
 						cfg.SteadyRounds = 15
@@ -99,15 +108,17 @@ func THPTradeoff(o Options) THPFigure {
 					scale := c.Cfg.Scale
 					ps := int64(c.Host.PageSize())
 					row := THPRow{
-						Policy:       pol.label,
-						Guests:       n,
-						HugeMB:       mb(int64(huge)*ps, scale),
-						TLBReachMB:   mb(a.EstimatedTLBReachBytes(), scale),
-						SharingMB:    mb(kst.SavedBytes, scale),
-						SharingPages: kst.PagesSharing,
-						Collapses:    tst.Collapses,
-						Splits:       tst.Splits,
-						KSMSkips:     kst.HugeSkips,
+						Policy:        pol.label,
+						Guests:        n,
+						HugeMB:        mb(int64(huge)*ps, scale),
+						TLBReachMB:    mb(a.EstimatedTLBReachBytes(), scale),
+						SharingMB:     mb(kst.SavedBytes, scale),
+						SharingPages:  kst.PagesSharing,
+						Collapses:     tst.Collapses,
+						Splits:        tst.Splits,
+						KSMSkips:      kst.HugeSkips,
+						PartialSplits: tst.PartialSplits,
+						Reabsorbs:     tst.Reabsorbs,
 					}
 					if huge+base > 0 {
 						row.HugeCoveragePct = 100 * float64(huge) / float64(huge+base)

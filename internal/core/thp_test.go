@@ -59,6 +59,52 @@ func TestTHPTradeoffQualitativeAndDeterministic(t *testing.T) {
 		if split.Splits == 0 {
 			t.Fatal("ksm-split row shows no splits")
 		}
+
+		// fhpm must land on the Pareto frontier: it matches ksm-split's
+		// sharing (carving the same duplicates, minus only the uncarvable
+		// head subpages) while keeping the rest of each block huge, so its
+		// TLB reach must be strictly higher; and unlike plain always it
+		// actually shares pages.
+		fhpm := row(guests, "fhpm")
+		if fhpm.PartialSplits == 0 {
+			t.Fatal("fhpm row shows no partial splits")
+		}
+		if fhpm.Splits != 0 {
+			t.Fatalf("fhpm dissolved %d whole blocks", fhpm.Splits)
+		}
+		if min := 0.95 * split.SharingMB; fhpm.SharingMB < min {
+			t.Fatalf("fhpm sharing %.1f MB below 95%% of ksm-split's %.1f MB",
+				fhpm.SharingMB, split.SharingMB)
+		}
+		if fhpm.TLBReachMB <= split.TLBReachMB {
+			t.Fatalf("fhpm TLB reach %.1f MB not above ksm-split's %.1f MB at matched sharing",
+				fhpm.TLBReachMB, split.TLBReachMB)
+		}
+		if fhpm.SharingPages <= always.SharingPages {
+			t.Fatalf("fhpm shares %d pages, no more than plain always' %d",
+				fhpm.SharingPages, always.SharingPages)
+		}
+		if fhpm.HugeMB <= never.HugeMB {
+			t.Fatalf("fhpm kept no huge coverage: %+v", fhpm)
+		}
+	}
+}
+
+// TestFiguresIdenticalAcrossJobWidthsWithFHPMOff is the compatibility half of
+// the FHPM contract: with the flag off (default Options), the paper figures
+// must stay byte-identical at every -jobs width — the carve machinery may not
+// perturb the default pipeline.
+func TestFiguresIdenticalAcrossJobWidthsWithFHPMOff(t *testing.T) {
+	var outs []string
+	for _, jobs := range []int{1, 2, 8} {
+		m, j := Fig2(Options{Scale: testScale, Quick: true, Jobs: jobs})
+		outs = append(outs, RenderMemFigure(m)+MemFigureTable(m).CSV()+
+			RenderJavaFigure(j)+JavaFigureTable(j).CSV())
+	}
+	for i, out := range outs[1:] {
+		if out != outs[0] {
+			t.Fatalf("Fig2 differs between -jobs 1 and -jobs %d", []int{2, 8}[i])
+		}
 	}
 }
 

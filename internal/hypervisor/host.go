@@ -86,19 +86,26 @@ type Host struct {
 	// THP daemon registers itself here to count splits it didn't initiate.
 	OnHugeSplit func(vm *VMProcess, head mem.VPN)
 
+	// OnPartialSplit, if set, is invoked after n subpages have been carved
+	// out of the huge mapping headed at head (the FHPM partial split). The
+	// THP daemon registers itself here to count KSM-initiated carves.
+	OnPartialSplit func(vm *VMProcess, head mem.VPN, n int)
+
 	stats HostStats
 }
 
 // HostStats aggregates host-level counters.
 type HostStats struct {
-	MajorFaults uint64 // swap-ins
-	SwapOuts    uint64
-	COWBreaks   uint64
-	MinorFaults uint64 // first-touch demand mappings
-	Collapses   uint64 // huge-page collapses (khugepaged successes)
-	HugeSplits  uint64 // huge mappings split back to base pages
-	Kills       uint64 // VM processes torn down by KillVM
-	Restarts    uint64 // VM processes rebooted by RestartVM
+	MajorFaults   uint64 // swap-ins
+	SwapOuts      uint64
+	COWBreaks     uint64
+	MinorFaults   uint64 // first-touch demand mappings
+	Collapses     uint64 // huge-page collapses (khugepaged successes)
+	HugeSplits    uint64 // huge mappings split back to base pages
+	PartialSplits uint64 // subpages carved out of huge mappings (FHPM)
+	Reabsorbs     uint64 // carved blocks re-promoted to full huge mappings
+	Kills         uint64 // VM processes torn down by KillVM
+	Restarts      uint64 // VM processes rebooted by RestartVM
 }
 
 // mapping identifies one PTE in one VM process, for the eviction queue.

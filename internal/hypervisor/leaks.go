@@ -43,7 +43,13 @@ func (h *Host) CheckLeaks(external []mem.FrameID) error {
 			case pte.Swapped:
 				slotRefs[pte.SwapSlot]++
 			case pte.Huge:
+				// Carved subpages are explained by their own base PTEs
+				// (visited by this same walk); the head explains only the
+				// uncarved remainder of the block.
 				for i := 0; i < mem.HugePages; i++ {
+					if vm.hpt.CarvedAt(vpn + mem.VPN(i)) {
+						continue
+					}
 					expected[pte.Frame+mem.FrameID(i)]++
 				}
 			default:

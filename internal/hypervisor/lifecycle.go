@@ -29,9 +29,14 @@ func (h *Host) KillVM(vm *VMProcess) {
 		case pte.Huge:
 			// Exit frees a huge page as a unit — no split event, no
 			// re-queueing of base pages; the block just dissolves back into
-			// 512 free frames.
+			// free frames. Carved subpages own their (possibly remapped)
+			// frames through their base PTEs, which this same loop visits,
+			// so the huge branch releases only the uncarved remainder.
 			h.phys.SplitHugeBlock(pte.Frame)
 			for i := 0; i < mem.HugePages; i++ {
+				if vm.hpt.CarvedAt(vpn + mem.VPN(i)) {
+					continue
+				}
 				h.phys.DecRef(pte.Frame + mem.FrameID(i))
 			}
 		default:

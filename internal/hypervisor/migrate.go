@@ -48,8 +48,12 @@ func (vm *VMProcess) MappedGuestPages() []uint64 {
 			continue
 		}
 		// A huge head covers a whole aligned run; every covered page is
-		// guest state.
+		// guest state. Carved subpages are excluded here — they have their
+		// own entries in this same sorted walk (when still mapped).
 		for off := mem.VPN(0); off < mem.HugePages && vpn+off < guestEnd; off++ {
+			if vm.hpt.CarvedAt(vpn + off) {
+				continue
+			}
 			out = append(out, uint64(vpn+off-vm.memslotBase))
 		}
 	}

@@ -57,6 +57,12 @@ func (vm *VMProcess) CollapseHuge(head mem.VPN, maxPtesNone int) CollapseOutcome
 	if head%mem.HugePages != 0 {
 		panic(fmt.Sprintf("hypervisor: CollapseHuge at unaligned vpn %d", head))
 	}
+	if pte, ok := vm.hpt.Lookup(head); ok && pte.Huge {
+		if vm.hpt.CarvedCount(head) > 0 {
+			return vm.reabsorbCarved(head, pte, maxPtesNone)
+		}
+		return CollapseAlreadyHuge
+	}
 	absent := 0
 	for i := mem.VPN(0); i < mem.HugePages; i++ {
 		pte, ok := vm.hpt.Lookup(head + i)
@@ -102,26 +108,123 @@ func (vm *VMProcess) CollapseHuge(head mem.VPN, maxPtesNone int) CollapseOutcome
 	return CollapseOK
 }
 
-// SplitHuge dissolves the huge mapping headed at head back into HugePages
-// base mappings over the same (now independent) frames. Contents are
-// preserved; the pages re-enter the eviction queue individually. KSM's
-// split-to-merge policy and the evictor both use this.
+// reabsorbCarved is the FHPM re-promotion step: the run headed at head is
+// still huge but has carved subpages; pull each one back into the backing
+// block so the mapping covers the whole run again. Like a fresh collapse it
+// refuses to break sharing — every carved subpage must be private (or
+// absent, with its original frame slot still free and the absent count
+// within the max_ptes_none budget). A carved subpage whose original slot
+// has since been allocated to someone else fails the attempt with
+// CollapseNoMemory, khugepaged's fragmentation failure mode.
+func (vm *VMProcess) reabsorbCarved(head mem.VPN, hpte mem.PTE, maxPtesNone int) CollapseOutcome {
+	phys := vm.host.phys
+	carved := vm.hpt.CarvedSubpages(head)
+	absent := 0
+	for _, vpn := range carved {
+		hole := hpte.Frame + mem.FrameID(vpn-head)
+		pte, ok := vm.hpt.Lookup(vpn)
+		switch {
+		case !ok:
+			if !phys.IsFree(hole) {
+				return CollapseNoMemory
+			}
+			absent++
+		case pte.Swapped:
+			return CollapseSwapped
+		case pte.COW || phys.IsKSM(pte.Frame) || phys.RefCount(pte.Frame) > 1:
+			return CollapseShared
+		case pte.Frame != hole && !phys.IsFree(hole):
+			return CollapseNoMemory
+		}
+	}
+	if absent > maxPtesNone {
+		return CollapseNotDense
+	}
+	for _, vpn := range carved {
+		hole := hpte.Frame + mem.FrameID(vpn-head)
+		pte, ok := vm.hpt.Lookup(vpn)
+		switch {
+		case !ok:
+			// Absent subpage: re-materialize its slot as a zero page (the
+			// same bloat a fresh collapse pays for absent pages).
+			if !phys.ClaimSpecific(hole) {
+				panic(fmt.Sprintf("hypervisor: reabsorb hole %d vanished", hole))
+			}
+		case pte.Frame == hole:
+			// The subpage never moved: restoring the huge flag is enough.
+		default:
+			if !phys.ClaimSpecific(hole) {
+				panic(fmt.Sprintf("hypervisor: reabsorb hole %d vanished", hole))
+			}
+			phys.CopyFrame(hole, pte.Frame)
+			phys.DecRef(pte.Frame)
+		}
+		phys.ReclaimHugeFrame(hole)
+		vm.hpt.UncarveSubpage(head, vpn)
+	}
+	vm.stats.ResidentPages += absent
+	vm.host.stats.Reabsorbs++
+	return CollapseOK
+}
+
+// SplitHuge dissolves the huge mapping headed at head back into base
+// mappings over the same (now independent) frames. Contents are preserved;
+// the pages re-enter the eviction queue individually. Carved subpages
+// already live as base mappings (possibly pointing elsewhere after COW or
+// merging) and are left untouched. KSM's split-to-merge policy and the
+// evictor both use this.
 func (vm *VMProcess) SplitHuge(head mem.VPN) {
 	pte, ok := vm.hpt.Lookup(head)
 	if !ok || !pte.Huge || head%mem.HugePages != 0 {
 		panic(fmt.Sprintf("hypervisor: SplitHuge at vpn %d: no huge mapping", head))
 	}
+	carved := vm.hpt.CarvedSubpages(head)
 	vm.host.phys.SplitHugeBlock(pte.Frame)
 	vm.hpt.SplitHuge(head)
+	ci := 0
 	for i := mem.VPN(0); i < mem.HugePages; i++ {
-		vm.host.noteMapped(vm, head+i)
+		vpn := head + i
+		if ci < len(carved) && carved[ci] == vpn {
+			ci++
+			continue
+		}
+		vm.host.noteMapped(vm, vpn)
 		// A split re-exposes the run's base pages to KSM (huge mappings hide
 		// them), so the incremental scanner must revisit each one.
-		vm.logDirty(head + i)
+		vm.logDirty(vpn)
 	}
 	vm.host.stats.HugeSplits++
 	if vm.host.OnHugeSplit != nil {
 		vm.host.OnHugeSplit(vm, head)
+	}
+}
+
+// SplitHugeSubpages carves the given subpages (ascending VPNs inside the
+// run headed at head) out of the huge mapping: each gets its own base PTE
+// and an ordinary refcounted frame, while the remainder of the run stays
+// huge. This is the FHPM partial split — KSM uses it to recover just the
+// duplicate-bearing subpages, the daemon to demote cold ones.
+func (vm *VMProcess) SplitHugeSubpages(head mem.VPN, vpns []mem.VPN) {
+	pte, ok := vm.hpt.Lookup(head)
+	if !ok || !pte.Huge || head%mem.HugePages != 0 {
+		panic(fmt.Sprintf("hypervisor: SplitHugeSubpages at vpn %d: no huge mapping", head))
+	}
+	if len(vpns) == 0 {
+		return
+	}
+	for _, vpn := range vpns {
+		vm.host.phys.ReleaseHugeFrame(pte.Frame + mem.FrameID(vpn-head))
+	}
+	vm.hpt.SplitHugeSubpages(head, vpns)
+	for _, vpn := range vpns {
+		vm.host.noteMapped(vm, vpn)
+		// The carved page is now an ordinary mergeable base page; tell the
+		// incremental scanner to look at it.
+		vm.logDirty(vpn)
+	}
+	vm.host.stats.PartialSplits += uint64(len(vpns))
+	if vm.host.OnPartialSplit != nil {
+		vm.host.OnPartialSplit(vm, head, len(vpns))
 	}
 }
 

@@ -375,25 +375,41 @@ func (vm *VMProcess) logDirty(vpn mem.VPN) {
 // last drain (append order) plus the log-full flag, and starts a fresh
 // cycle. With an overflowed cycle the list is incomplete and the caller
 // must rescan the whole VM. Nil/false when dirty logging is off.
+//
+// Every drain also feeds the per-subpage heat counters of huge mappings
+// (mem.PageTable.NoteSubpageDirty): one event per distinct dirty page per
+// cycle, which is exactly the PML-grade write signal the FHPM daemon's
+// demote/promote decisions run on.
 func (vm *VMProcess) DrainDirtyLog() ([]mem.VPN, bool) {
 	if vm.dirty == nil {
 		return nil, false
 	}
 	gfns, full := vm.dirty.Drain()
 	for i, g := range gfns {
-		gfns[i] = vm.memslotBase + g
+		vpn := vm.memslotBase + g
+		gfns[i] = vpn
+		vm.hpt.NoteSubpageDirty(vpn)
 	}
 	return gfns, full
 }
 
 // ResetDirtyLog discards the current dirty cycle — a linear full scan is
 // about to visit every page anyway — reporting how many distinct pages were
-// pending and whether the cycle had overflowed.
+// pending and whether the cycle had overflowed. When the VM holds huge
+// mappings the pending pages still feed the per-subpage heat counters
+// before being discarded, so the FHPM heat signal survives linear scans.
 func (vm *VMProcess) ResetDirtyLog() (n int, overflowed bool) {
 	if vm.dirty == nil {
 		return 0, false
 	}
-	return vm.dirty.Reset()
+	if vm.hpt.HugeMappings() == 0 {
+		return vm.dirty.Reset()
+	}
+	gfns, full := vm.dirty.Drain()
+	for _, g := range gfns {
+		vm.hpt.NoteSubpageDirty(vm.memslotBase + g)
+	}
+	return len(gfns), full
 }
 
 // DirtyLogDepth reports the current cycle's distinct dirty pages (telemetry).

@@ -84,6 +84,14 @@ type Config struct {
 	// cost of TLB reach. Off, huge-mapped pages are skipped entirely — the
 	// default Linux behaviour, where THP hides duplicates from KSM.
 	SplitHugePages bool
+	// PartialSplitHuge is the FHPM refinement of SplitHugePages: instead of
+	// dissolving the whole huge mapping, the scanner carves out only the
+	// duplicate-bearing subpage (hypervisor.VMProcess.SplitHugeSubpages)
+	// and leaves the remainder huge — the same sharing recovered at a
+	// fraction of the TLB-reach cost. Takes precedence over SplitHugePages
+	// when both are set. The head subpage (offset 0) anchors the huge entry
+	// and cannot be carved; its duplicates are skipped.
+	PartialSplitHuge bool
 	// IncrementalScan switches the scanner to dirty-ring driven rescans
 	// after two consecutive completed full passes (see the package comment).
 	// It requires the host to be configured with hypervisor.Config.DirtyLog;
@@ -136,7 +144,10 @@ type Stats struct {
 	Stalls         uint64 // injected daemon stalls (fault injection)
 	HashRejects    uint64 // hash matched but bytes differed (verification)
 	HugeSkips      uint64 // candidates skipped because a huge mapping covers them
-	HugeSplits     uint64 // huge mappings split by KSM to recover sharing
+	HugeSplits     uint64 // huge mappings split whole by KSM to recover sharing
+	// HugePartialSplits counts subpages carved out of huge mappings under
+	// PartialSplitHuge (each event is one subpage, not one block).
+	HugePartialSplits uint64
 
 	IncrementalRounds  uint64 // dirty-ring drain rounds that produced rescan work
 	IncrementalScanned uint64 // pages scanned from the incremental queue
@@ -985,15 +996,14 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) bool {
 		}
 		if otherPTE.Huge {
 			// The partner was collapsed into a huge mapping after we
-			// recorded it. Under the split policy the verified duplicate
-			// justifies dissolving the huge page; otherwise THP wins and
-			// the merge is forgone.
-			if !k.cfg.SplitHugePages {
-				k.stats.HugeSkips++
+			// recorded it. Under the split policies the verified duplicate
+			// justifies recovering the subpage — carving just it out
+			// (PartialSplitHuge) or dissolving the whole huge page
+			// (SplitHugePages); otherwise THP wins and the merge is
+			// forgone.
+			if !k.splitHugeFor(ent.key.vm, ent.key.vpn) {
 				continue
 			}
-			ent.key.vm.SplitHuge(mem.HugeAlign(ent.key.vpn))
-			k.stats.HugeSplits++
 		}
 		// Promote the partner to a stable page and remap the candidate.
 		pm.SetKSM(otherFrame, true)
@@ -1018,14 +1028,46 @@ func (k *KSM) scanPage(vm *hypervisor.VMProcess, vpn mem.VPN) bool {
 	return false
 }
 
-// scanHugePage handles a candidate covered by a transparent huge mapping.
-// Without the split policy the page is simply skipped (THP hides it from
-// merging). With it, the scanner checks whether the subpage's content
-// duplicates a stable page or a still-valid unstable candidate; a verified
-// duplicate splits the huge mapping and the page re-enters the normal merge
-// pipeline immediately. Like scanPage it reports a volatility-gate skip.
-func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.FrameID) bool {
+// hugeSplitting reports whether the scanner is allowed to break huge
+// mappings at all (either split policy).
+func (k *KSM) hugeSplitting() bool {
+	return k.cfg.SplitHugePages || k.cfg.PartialSplitHuge
+}
+
+// splitHugeFor recovers the verified-duplicate subpage at vpn from the huge
+// mapping covering it, honoring the configured split policy: a partial
+// carve of just that subpage, or a whole-block split. Reports false when
+// the policy leaves the mapping intact (splitting off, or a partial split
+// aimed at the uncarvable head subpage) — the caller forgoes the merge.
+func (k *KSM) splitHugeFor(vm *hypervisor.VMProcess, vpn mem.VPN) bool {
+	head := mem.HugeAlign(vpn)
+	if k.cfg.PartialSplitHuge {
+		if vpn == head {
+			k.stats.HugeSkips++
+			return false
+		}
+		vm.SplitHugeSubpages(head, []mem.VPN{vpn})
+		k.stats.HugePartialSplits++
+		return true
+	}
 	if !k.cfg.SplitHugePages {
+		k.stats.HugeSkips++
+		return false
+	}
+	vm.SplitHuge(head)
+	k.stats.HugeSplits++
+	return true
+}
+
+// scanHugePage handles a candidate covered by a transparent huge mapping.
+// Without a split policy the page is simply skipped (THP hides it from
+// merging). With one, the scanner checks whether the subpage's content
+// duplicates a stable page or a still-valid unstable candidate; a verified
+// duplicate splits the subpage (or the whole mapping, depending on policy)
+// and re-enters the normal merge pipeline immediately. Like scanPage it
+// reports a volatility-gate skip.
+func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.FrameID) bool {
+	if !k.hugeSplitting() {
 		k.stats.HugeSkips++
 		return false
 	}
@@ -1085,9 +1127,11 @@ func (k *KSM) scanHugePage(vm *hypervisor.VMProcess, vpn mem.VPN, frame mem.Fram
 		}
 		return false
 	}
-	vm.SplitHuge(mem.HugeAlign(vpn))
-	k.stats.HugeSplits++
-	// The mapping is base-grained now; rescan so the duplicate merges in
+	if !k.splitHugeFor(vm, vpn) {
+		// Partial policy, uncarvable head subpage: the merge is forgone.
+		return false
+	}
+	// The page is base-grained now; rescan so the duplicate merges in
 	// this same visit (the gate entry written above lets it through).
 	return k.scanPage(vm, vpn)
 }
@@ -1138,6 +1182,7 @@ func (k *KSM) Instrument(r *metrics.Registry) {
 	})
 	r.Gauge("ksm.huge_skips", func() float64 { return float64(k.stats.HugeSkips) })
 	r.Gauge("ksm.huge_splits", func() float64 { return float64(k.stats.HugeSplits) })
+	r.Gauge("ksm.huge_partial_splits", func() float64 { return float64(k.stats.HugePartialSplits) })
 	r.Gauge("ksm.pass.sharing_lost_pages", func() float64 {
 		return float64(k.stats.HugeSkips - k.passStart.HugeSkips)
 	})

@@ -33,10 +33,11 @@
 //     free order — which every figure depends on — is therefore independent
 //     of both the shard count and the worker interleaving.
 //
-// The split-huge policy (Config.SplitHugePages) rewrites PTE ranges that can
-// cross checksum shards mid-scan, so batches run through the serial path
-// whenever it is enabled — still routed through the sharded structures, with
-// identical outcomes. DESIGN.md §5f covers the invariants in detail.
+// The huge-splitting policies (Config.SplitHugePages and
+// Config.PartialSplitHuge) rewrite PTE ranges that can cross checksum shards
+// mid-scan, so batches run through the serial path whenever either is
+// enabled — still routed through the sharded structures, with identical
+// outcomes. DESIGN.md §5f covers the invariants in detail.
 package ksm
 
 import (
@@ -188,15 +189,15 @@ func (k *KSM) processBatch(cands []candidate, incremental bool) {
 	if len(cands) == 0 {
 		return
 	}
-	if len(k.shards) > 1 && !k.cfg.SplitHugePages && len(cands) >= minParallelBatch {
+	if len(k.shards) > 1 && !k.hugeSplitting() && len(cands) >= minParallelBatch {
 		k.classifyCandidates(cands)
 		k.runShardWorkers(cands)
 		k.commitBatch(cands, incremental)
 		return
 	}
-	// Serial path: single shard, tiny batch, or the split-huge policy (whose
-	// PTE rewrites cross shards mid-batch). Same routed structures, same
-	// outcomes.
+	// Serial path: single shard, tiny batch, or a huge-splitting policy
+	// (whole or partial — either rewrites PTE ranges that cross shards
+	// mid-batch). Same routed structures, same outcomes.
 	for i := range cands {
 		c := &cands[i]
 		gateSkipped := k.scanPage(c.vm, c.vpn)

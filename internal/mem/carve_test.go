@@ -1,0 +1,354 @@
+package mem
+
+import "testing"
+
+// Huge-run boundary behavior of hugeHead and its callers: the first and last
+// subpage of the block must behave exactly like the middle, and pages just
+// outside the run must be untouched by its guards.
+
+func TestHugeRunBoundaryLookup(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(HugePages, PTE{Frame: 512, Writable: true})
+
+	// First subpage (the head itself).
+	e, ok := pt.Lookup(HugePages)
+	if !ok || !e.Huge || e.Frame != 512 {
+		t.Fatalf("head lookup = %+v ok=%v", e, ok)
+	}
+	// Last subpage of the run.
+	e, ok = pt.Lookup(2*HugePages - 1)
+	if !ok || !e.Huge || e.Frame != 512+FrameID(HugePages-1) {
+		t.Fatalf("last-subpage lookup = %+v ok=%v", e, ok)
+	}
+	// One page before and one page after the run.
+	if _, ok := pt.Lookup(HugePages - 1); ok {
+		t.Fatal("page before the run mapped")
+	}
+	if _, ok := pt.Lookup(2 * HugePages); ok {
+		t.Fatal("page after the run mapped")
+	}
+}
+
+func TestHugeRunBoundarySetDelete(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(HugePages, PTE{Frame: 512})
+
+	// Set and Delete inside the run panic at both extremes and in the middle.
+	mustPanic(t, "Set at run head", func() { pt.Set(HugePages, PTE{Frame: 9}) })
+	mustPanic(t, "Set at run middle", func() { pt.Set(HugePages+HugePages/2, PTE{Frame: 9}) })
+	mustPanic(t, "Set at last subpage", func() { pt.Set(2*HugePages-1, PTE{Frame: 9}) })
+	mustPanic(t, "Delete at run head", func() { pt.Delete(HugePages) })
+	mustPanic(t, "Delete at last subpage", func() { pt.Delete(2*HugePages - 1) })
+
+	// The pages flanking the run are ordinary.
+	pt.Set(HugePages-1, PTE{Frame: 100})
+	pt.Set(2*HugePages, PTE{Frame: 101})
+	if _, ok := pt.Delete(HugePages - 1); !ok {
+		t.Fatal("delete before the run failed")
+	}
+	if _, ok := pt.Delete(2 * HugePages); !ok {
+		t.Fatal("delete after the run failed")
+	}
+}
+
+func TestHugeHeadsAcrossSplitRecollapse(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(0, PTE{Frame: 0})
+	pt.InstallHuge(HugePages, PTE{Frame: 512})
+	if pt.HugeMappings() != 2 {
+		t.Fatalf("HugeMappings = %d, want 2", pt.HugeMappings())
+	}
+	pt.SplitHuge(0)
+	if pt.HugeMappings() != 1 {
+		t.Fatalf("HugeMappings = %d after split, want 1", pt.HugeMappings())
+	}
+	// Re-collapse the split run: the base entries are dropped and the head
+	// count comes back.
+	pt.InstallHuge(0, PTE{Frame: 1024})
+	if pt.HugeMappings() != 2 {
+		t.Fatalf("HugeMappings = %d after re-collapse, want 2", pt.HugeMappings())
+	}
+	if pt.Len() != 2 {
+		t.Fatalf("Len = %d after re-collapse, want 2 heads", pt.Len())
+	}
+	if pt.PresentCount() != 2*HugePages {
+		t.Fatalf("present = %d, want %d", pt.PresentCount(), 2*HugePages)
+	}
+}
+
+// Per-subpage carve-outs (FHPM).
+
+func TestSplitHugeSubpagesCarvesBaseEntries(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(0, PTE{Frame: 1024, Writable: true})
+	before := pt.PresentCount()
+
+	pt.SplitHugeSubpages(0, []VPN{3, HugePages - 1})
+	if pt.PresentCount() != before {
+		t.Fatalf("present changed across carve: %d -> %d", before, pt.PresentCount())
+	}
+	if pt.HugeMappings() != 1 {
+		t.Fatal("huge head did not survive the partial split")
+	}
+	if got := pt.CarvedCount(0); got != 2 {
+		t.Fatalf("CarvedCount = %d, want 2", got)
+	}
+	for _, vpn := range []VPN{3, HugePages - 1} {
+		if !pt.CarvedAt(vpn) {
+			t.Fatalf("CarvedAt(%d) = false", vpn)
+		}
+		e, ok := pt.Lookup(vpn)
+		if !ok || e.Huge || e.Frame != 1024+FrameID(vpn) || !e.Writable {
+			t.Fatalf("carved vpn %d lookup = %+v ok=%v", vpn, e, ok)
+		}
+	}
+	if got := pt.CarvedSubpages(0); len(got) != 2 || got[0] != 3 || got[1] != HugePages-1 {
+		t.Fatalf("CarvedSubpages = %v", got)
+	}
+	// The uncarved remainder still answers through the head.
+	if e, ok := pt.Lookup(4); !ok || !e.Huge {
+		t.Fatalf("uncarved subpage lookup = %+v ok=%v", e, ok)
+	}
+
+	// Carved subpages are ordinary base pages: Set and Delete work.
+	pt.Set(3, PTE{Frame: 9000})
+	if e, _ := pt.Lookup(3); e.Frame != 9000 {
+		t.Fatal("Set on carved subpage did not stick")
+	}
+	if _, ok := pt.Delete(HugePages - 1); !ok {
+		t.Fatal("Delete of carved subpage failed")
+	}
+	if pt.PresentCount() != before-1 {
+		t.Fatalf("present = %d after deleting a carved page, want %d", pt.PresentCount(), before-1)
+	}
+}
+
+func TestSplitHugeSubpagesGuards(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(0, PTE{Frame: 1024})
+	mustPanic(t, "carve of head subpage", func() { pt.SplitHugeSubpages(0, []VPN{0}) })
+	mustPanic(t, "carve outside the run", func() { pt.SplitHugeSubpages(0, []VPN{HugePages}) })
+	mustPanic(t, "carve of non-huge head", func() { pt.SplitHugeSubpages(HugePages, []VPN{HugePages + 1}) })
+	pt.SplitHugeSubpages(0, []VPN{7})
+	mustPanic(t, "double carve", func() { pt.SplitHugeSubpages(0, []VPN{7}) })
+	mustPanic(t, "uncarve of uncarved subpage", func() { pt.UncarveSubpage(0, 8) })
+}
+
+func TestUncarveSubpageRestoresCoverage(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(0, PTE{Frame: 1024, Writable: true})
+	before := pt.PresentCount()
+	pt.SplitHugeSubpages(0, []VPN{5})
+
+	pt.UncarveSubpage(0, 5)
+	if pt.CarvedCount(0) != 0 || pt.CarvedAt(5) {
+		t.Fatal("carve state survived uncarve")
+	}
+	if pt.PresentCount() != before {
+		t.Fatalf("present = %d after uncarve, want %d", pt.PresentCount(), before)
+	}
+	// Coverage is synthesized through the head again.
+	e, ok := pt.Lookup(5)
+	if !ok || !e.Huge || e.Frame != 1029 {
+		t.Fatalf("lookup after uncarve = %+v ok=%v", e, ok)
+	}
+
+	// An absent carved page (deleted base entry) uncarves too: the head's
+	// coverage re-materializes it, and present grows by one.
+	pt.SplitHugeSubpages(0, []VPN{9})
+	pt.Delete(9)
+	if pt.PresentCount() != before-1 {
+		t.Fatalf("present = %d after deleting carved page", pt.PresentCount())
+	}
+	pt.UncarveSubpage(0, 9)
+	if pt.PresentCount() != before {
+		t.Fatalf("present = %d after uncarving absent page, want %d", pt.PresentCount(), before)
+	}
+}
+
+func TestSplitHugeSkipsCarvedSubpages(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(0, PTE{Frame: 1024})
+	pt.SplitHugeSubpages(0, []VPN{2})
+	// The carved page was remapped elsewhere (COW, merge) in the meantime.
+	pt.Set(2, PTE{Frame: 7777})
+	before := pt.PresentCount()
+
+	pt.SplitHuge(0)
+	if pt.HugeMappings() != 0 {
+		t.Fatal("huge mapping survived full split")
+	}
+	if e, _ := pt.Lookup(2); e.Frame != 7777 {
+		t.Fatalf("carved entry clobbered by full split: %+v", e)
+	}
+	if pt.PresentCount() != before {
+		t.Fatalf("present changed across split: %d -> %d", before, pt.PresentCount())
+	}
+	if pt.Len() != HugePages {
+		t.Fatalf("Len = %d after split, want %d", pt.Len(), HugePages)
+	}
+}
+
+func TestInstallHugeResetsCarveState(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(0, PTE{Frame: 1024})
+	pt.SplitHugeSubpages(0, []VPN{4})
+	pt.NoteSubpageDirty(4)
+	pt.SplitHuge(0)
+	for i := VPN(0); i < HugePages; i++ {
+		if i != 4 {
+			pt.Delete(i)
+		}
+	}
+	pt.Delete(4)
+	// A fresh collapse of the same range starts clean.
+	pt.InstallHuge(0, PTE{Frame: 2048})
+	if pt.CarvedCount(0) != 0 || pt.CarvedAt(4) {
+		t.Fatal("carve state leaked into the fresh collapse")
+	}
+	if pt.SubpageHeat(4) != 0 {
+		t.Fatal("heat leaked into the fresh collapse")
+	}
+}
+
+// Per-subpage heat (the FHPM demote/promote signal).
+
+func TestSubpageHeatFeedAndDecay(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(0, PTE{Frame: 1024})
+	pt.NoteSubpageDirty(3)
+	pt.NoteSubpageDirty(3)
+	pt.NoteSubpageDirty(HugePages - 1)
+	// Outside any run: a no-op, not a panic.
+	pt.NoteSubpageDirty(5 * HugePages)
+	if got := pt.SubpageHeat(3); got != 2 {
+		t.Fatalf("SubpageHeat(3) = %d, want 2", got)
+	}
+
+	age, quiet := pt.DecaySubpageHeat(0)
+	if age != 1 || quiet != 0 {
+		t.Fatalf("decay #1: age=%d quiet=%d, want 1,0", age, quiet)
+	}
+	if got := pt.SubpageHeat(3); got != 1 {
+		t.Fatalf("heat after decay = %d, want 1", got)
+	}
+	// Two more decays drain the remaining heat; quiet starts counting only
+	// once a whole visit saw zero total heat.
+	if _, quiet := pt.DecaySubpageHeat(0); quiet != 0 {
+		t.Fatalf("quiet = %d while heat remained", quiet)
+	}
+	if _, quiet := pt.DecaySubpageHeat(0); quiet != 1 {
+		t.Fatalf("quiet = %d on first all-quiet visit, want 1", quiet)
+	}
+	// A write resets the quiet clock.
+	pt.NoteSubpageDirty(7)
+	if _, quiet := pt.DecaySubpageHeat(0); quiet != 0 {
+		t.Fatalf("quiet = %d after a write, want 0", quiet)
+	}
+}
+
+func TestCarveResetsQuietClock(t *testing.T) {
+	pt := NewPageTable()
+	pt.InstallHuge(0, PTE{Frame: 1024})
+	for i := 0; i < 3; i++ {
+		pt.DecaySubpageHeat(0)
+	}
+	if _, quiet := pt.DecaySubpageHeat(0); quiet != 4 {
+		t.Fatalf("quiet = %d before carve, want 4", quiet)
+	}
+	// A demotion restarts the promotion window from zero.
+	pt.SplitHugeSubpages(0, []VPN{6})
+	if _, quiet := pt.DecaySubpageHeat(0); quiet != 1 {
+		t.Fatalf("quiet = %d right after carve, want 1", quiet)
+	}
+}
+
+// Partial release and reclaim of huge-block frames (PhysMem side).
+
+func TestReleaseReclaimHugeFrame(t *testing.T) {
+	pm := NewPhysMem(int64(2*HugePages)*DefaultPageSize, DefaultPageSize)
+	base, err := pm.AllocHugeBlock()
+	if err != nil {
+		t.Fatalf("AllocHugeBlock: %v", err)
+	}
+	if pm.HugeBlocks() != 1 || pm.HugeFrames() != HugePages {
+		t.Fatalf("blocks=%d hugeFrames=%d after alloc", pm.HugeBlocks(), pm.HugeFrames())
+	}
+
+	carved := base + 17
+	pm.ReleaseHugeFrame(carved)
+	if pm.IsHugeFrame(carved) {
+		t.Fatal("released frame still huge")
+	}
+	if pm.HugeBlocks() != 1 {
+		t.Fatal("block dissolved after one release")
+	}
+	if pm.HugeFrames() != HugePages-1 {
+		t.Fatalf("hugeFrames = %d, want %d", pm.HugeFrames(), HugePages-1)
+	}
+	mustPanic(t, "double release", func() { pm.ReleaseHugeFrame(carved) })
+
+	// A released frame is an ordinary refcounted frame: free it and claim it
+	// back by id.
+	pm.DecRef(carved)
+	if !pm.IsFree(carved) {
+		t.Fatal("freed carved frame not free")
+	}
+	if !pm.ClaimSpecific(carved) {
+		t.Fatal("ClaimSpecific of free frame failed")
+	}
+	if pm.ClaimSpecific(carved) {
+		t.Fatal("ClaimSpecific of in-use frame succeeded")
+	}
+
+	// Reclaim restores huge-block membership.
+	pm.ReclaimHugeFrame(carved)
+	if !pm.IsHugeFrame(carved) || pm.HugeFrames() != HugePages {
+		t.Fatalf("reclaim: huge=%v hugeFrames=%d", pm.IsHugeFrame(carved), pm.HugeFrames())
+	}
+	mustPanic(t, "reclaim of already-huge frame", func() { pm.ReclaimHugeFrame(carved) })
+}
+
+func TestBlockDissolvesWhenLastHugeFrameReleased(t *testing.T) {
+	pm := NewPhysMem(int64(2*HugePages)*DefaultPageSize, DefaultPageSize)
+	base, err := pm.AllocHugeBlock()
+	if err != nil {
+		t.Fatalf("AllocHugeBlock: %v", err)
+	}
+	for i := 0; i < HugePages; i++ {
+		pm.ReleaseHugeFrame(base + FrameID(i))
+	}
+	if pm.HugeBlocks() != 0 || pm.HugeFrames() != 0 {
+		t.Fatalf("blocks=%d hugeFrames=%d after releasing all", pm.HugeBlocks(), pm.HugeFrames())
+	}
+	// Reclaiming one frame re-forms the (partial) block.
+	pm.ReclaimHugeFrame(base)
+	if pm.HugeBlocks() != 1 || pm.HugeFrames() != 1 {
+		t.Fatalf("blocks=%d hugeFrames=%d after reclaim", pm.HugeBlocks(), pm.HugeFrames())
+	}
+}
+
+func TestSplitHugeBlockSkipsCarvedFrames(t *testing.T) {
+	pm := NewPhysMem(int64(2*HugePages)*DefaultPageSize, DefaultPageSize)
+	base, err := pm.AllocHugeBlock()
+	if err != nil {
+		t.Fatalf("AllocHugeBlock: %v", err)
+	}
+	// Carve two frames out; free one of them entirely (SplitHugeBlock must
+	// not touch freed frames).
+	pm.ReleaseHugeFrame(base + 1)
+	pm.ReleaseHugeFrame(base + 2)
+	pm.DecRef(base + 2)
+
+	pm.SplitHugeBlock(base)
+	if pm.HugeBlocks() != 0 || pm.HugeFrames() != 0 {
+		t.Fatalf("blocks=%d hugeFrames=%d after split", pm.HugeBlocks(), pm.HugeFrames())
+	}
+	if pm.IsHugeFrame(base) || pm.IsHugeFrame(base+1) {
+		t.Fatal("huge flag survived split")
+	}
+	if !pm.IsFree(base + 2) {
+		t.Fatal("freed carved frame disturbed by split")
+	}
+	mustPanic(t, "split of non-huge block", func() { pm.SplitHugeBlock(base) })
+}

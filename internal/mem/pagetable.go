@@ -48,7 +48,8 @@ type PTE struct {
 // Huge mappings store a single entry at the aligned head VPN with Huge set;
 // lookups of the other HugePages-1 page numbers in the run synthesize their
 // PTE from the head (Frame = head frame + offset). Base entries may not be
-// installed inside a huge run — split it first.
+// installed inside a huge run — split it first, either wholesale
+// (SplitHuge) or per-subpage (SplitHugeSubpages, the FHPM carve-out path).
 //
 // Iteration over the underlying map is randomized by the runtime, so any
 // code that needs determinism must use SortedVPNs or RangeSorted. Linear
@@ -58,12 +59,59 @@ type PageTable struct {
 	entries map[VPN]PTE
 	// present counts resident (non-swapped) entries, maintained on
 	// Set/Delete so PresentCount is O(1) for telemetry gauges. A huge entry
-	// counts as HugePages resident pages.
+	// counts as HugePages resident pages minus the carved subpages that left
+	// the run (their own base entries carry the count instead — see
+	// SplitHugeSubpages for the bookkeeping contract).
 	present int
 	// hugeHeads counts huge entries; when zero, Lookup and the mutation
 	// guards skip all huge-range work, so tables that never collapse pay
 	// nothing.
 	hugeHeads int
+	// aux holds per-subpage state (carve-out bitmap, dirty-ring-fed heat)
+	// keyed by huge head VPN. Allocated lazily; entries live only while the
+	// head entry is huge.
+	aux map[VPN]*hugeAux
+}
+
+// hugeAux is the fine-grained state of one huge entry: which subpages have
+// been carved out of the run (they own real base PTEs, the head no longer
+// covers them) and the dirty-ring-fed per-subpage heat counters the FHPM
+// daemon uses for its demote/promote decisions.
+type hugeAux struct {
+	// carved is a HugePages-wide bitmap; bit i set means head+i is excluded
+	// from the huge run. Offset 0 is never carved: the head subpage anchors
+	// the huge entry itself (the compound-page head, in Linux terms).
+	carved  [HugePages / 64]uint64
+	ncarved int
+	// heat counts dirty-log events per subpage since the last decay,
+	// saturating. The daemon halves them each visit, so the effective
+	// signal is an EWMA of the write rate.
+	heat [HugePages]uint16
+	// age counts decay passes since the aux was created; demotion waits for
+	// age >= 2 so a freshly collapsed block gets a chance to show heat.
+	age uint8
+	// quiet counts consecutive decay passes that began with zero total
+	// heat; re-promotion waits for quiet >= 2 (the block has quiesced).
+	quiet uint8
+}
+
+func (a *hugeAux) isCarved(off VPN) bool {
+	return a.carved[off/64]&(1<<(off%64)) != 0
+}
+
+func (a *hugeAux) setCarved(off VPN)   { a.carved[off/64] |= 1 << (off % 64) }
+func (a *hugeAux) clearCarved(off VPN) { a.carved[off/64] &^= 1 << (off % 64) }
+
+func (pt *PageTable) ensureAux(head VPN) *hugeAux {
+	if pt.aux == nil {
+		pt.aux = make(map[VPN]*hugeAux)
+	}
+	a := pt.aux[head]
+	if a == nil {
+		a = &hugeAux{}
+		pt.aux[head] = a
+	}
+	return a
 }
 
 // NewPageTable returns an empty table.
@@ -78,7 +126,9 @@ func (pt *PageTable) Len() int { return len(pt.entries) }
 // HugeMappings reports how many huge entries the table holds.
 func (pt *PageTable) HugeMappings() int { return pt.hugeHeads }
 
-// hugeHead returns the huge entry covering vpn, if one exists.
+// hugeHead returns the huge entry covering vpn, if one exists. A carved
+// subpage is NOT covered: it has its own base entry and behaves like any
+// base page for Lookup/Set/Delete.
 func (pt *PageTable) hugeHead(vpn VPN) (VPN, PTE, bool) {
 	if pt.hugeHeads == 0 {
 		return 0, PTE{}, false
@@ -87,6 +137,11 @@ func (pt *PageTable) hugeHead(vpn VPN) (VPN, PTE, bool) {
 	e, ok := pt.entries[head]
 	if !ok || !e.Huge {
 		return 0, PTE{}, false
+	}
+	if vpn != head {
+		if a := pt.aux[head]; a != nil && a.isCarved(vpn-head) {
+			return 0, PTE{}, false
+		}
 	}
 	return head, e, true
 }
@@ -158,6 +213,9 @@ func (pt *PageTable) InstallHuge(vpn VPN, e PTE) {
 	pt.entries[vpn] = e
 	pt.present += HugePages
 	pt.hugeHeads++
+	// A fresh collapse starts with clean per-subpage state (no carve-outs,
+	// no heat history from a previous life of this address range).
+	delete(pt.aux, vpn)
 }
 
 // SplitHuge dissolves the huge entry headed at vpn into HugePages base
@@ -169,17 +227,193 @@ func (pt *PageTable) SplitHuge(vpn VPN) {
 	if !ok || !e.Huge {
 		panic(fmt.Sprintf("mem: SplitHuge at vpn %d: no huge entry", vpn))
 	}
+	a := pt.aux[vpn]
 	e.Huge = false
 	// Replace the head first so the hugeHead guard in Set no longer sees the
-	// run, then fan the remaining entries out.
+	// run, then fan the remaining entries out. Carved subpages already own
+	// base entries (possibly remapped elsewhere by COW or merging) and are
+	// left alone.
 	pt.entries[vpn] = e
 	pt.hugeHeads--
 	for i := VPN(1); i < HugePages; i++ {
+		if a != nil && a.isCarved(i) {
+			continue
+		}
 		sub := e
 		sub.Frame = e.Frame + FrameID(i)
 		pt.entries[vpn+i] = sub
 	}
-	// present is unchanged: HugePages resident pages before and after.
+	delete(pt.aux, vpn)
+	// present is unchanged: the same pages are resident before and after —
+	// the head's contribution is replaced one-for-one by the fanned-out base
+	// entries, and carved entries were already counted by themselves.
+}
+
+// SplitHugeSubpages carves the given subpages out of the huge run headed at
+// head: each one gets a real base PTE pointing at its frame within the
+// backing block, while the remainder of the run stays huge. The caller must
+// first release the matching frames from the block (PhysMem.ReleaseHugeFrame)
+// so they become ordinary refcounted frames. The head subpage (offset 0)
+// cannot be carved — it anchors the huge entry.
+func (pt *PageTable) SplitHugeSubpages(head VPN, vpns []VPN) {
+	e, ok := pt.entries[head]
+	if !ok || !e.Huge {
+		panic(fmt.Sprintf("mem: SplitHugeSubpages at vpn %d: no huge entry", head))
+	}
+	a := pt.ensureAux(head)
+	for _, vpn := range vpns {
+		if vpn <= head || vpn >= head+HugePages {
+			panic(fmt.Sprintf("mem: SplitHugeSubpages vpn %d outside run headed at %d", vpn, head))
+		}
+		off := vpn - head
+		if a.isCarved(off) {
+			panic(fmt.Sprintf("mem: SplitHugeSubpages vpn %d already carved", vpn))
+		}
+		sub := e
+		sub.Huge = false
+		sub.Frame = e.Frame + FrameID(off)
+		a.setCarved(off)
+		a.ncarved++
+		// Bookkeeping contract: the head keeps contributing HugePages to
+		// present, standing in for resident carved base entries, which are
+		// therefore installed without counting. Later mutations of the base
+		// entry (swap-out, delete) adjust present normally, keeping the
+		// total equal to the true resident page count.
+		pt.entries[vpn] = sub
+	}
+	// A fresh carve restarts the quiesce clock: re-promotion must wait for
+	// a full quiet window after the most recent demotion.
+	a.quiet = 0
+}
+
+// UncarveSubpage re-absorbs one carved subpage into the huge run headed at
+// head: the base entry (if any) is dropped and the head's coverage of the
+// subpage resumes. The caller must have restored the matching frame into the
+// backing block first (PhysMem.ReclaimHugeFrame).
+func (pt *PageTable) UncarveSubpage(head, vpn VPN) {
+	e, ok := pt.entries[head]
+	if !ok || !e.Huge {
+		panic(fmt.Sprintf("mem: UncarveSubpage at vpn %d: no huge entry", head))
+	}
+	a := pt.aux[head]
+	if vpn <= head || vpn >= head+HugePages || a == nil || !a.isCarved(vpn-head) {
+		panic(fmt.Sprintf("mem: UncarveSubpage vpn %d not carved from run at %d", vpn, head))
+	}
+	if cur, ok := pt.entries[vpn]; ok {
+		delete(pt.entries, vpn)
+		pt.present -= pteResident(cur)
+	}
+	a.clearCarved(vpn - head)
+	a.ncarved--
+	// The subpage is resident again through the head's coverage.
+	pt.present++
+}
+
+// CarvedCount reports how many subpages have been carved out of the huge run
+// headed at head (0 when the head is not huge or nothing is carved).
+func (pt *PageTable) CarvedCount(head VPN) int {
+	if a := pt.aux[head]; a != nil {
+		return a.ncarved
+	}
+	return 0
+}
+
+// CarvedAt reports whether vpn is a carved subpage of a live huge run.
+func (pt *PageTable) CarvedAt(vpn VPN) bool {
+	if pt.hugeHeads == 0 || pt.aux == nil {
+		return false
+	}
+	head := HugeAlign(vpn)
+	if vpn == head {
+		return false
+	}
+	a := pt.aux[head]
+	return a != nil && a.isCarved(vpn-head)
+}
+
+// CarvedSubpages returns the carved subpage VPNs of the run headed at head,
+// ascending.
+func (pt *PageTable) CarvedSubpages(head VPN) []VPN {
+	a := pt.aux[head]
+	if a == nil || a.ncarved == 0 {
+		return nil
+	}
+	out := make([]VPN, 0, a.ncarved)
+	for i := VPN(1); i < HugePages; i++ {
+		if a.isCarved(i) {
+			out = append(out, head+i)
+		}
+	}
+	return out
+}
+
+// NoteSubpageDirty feeds one dirty-log event into the per-subpage heat
+// counter of the huge run covering vpn (carved subpages included — their
+// heat still matters for the re-promotion decision). A no-op when vpn is
+// not inside a huge run.
+func (pt *PageTable) NoteSubpageDirty(vpn VPN) {
+	if pt.hugeHeads == 0 {
+		return
+	}
+	head := HugeAlign(vpn)
+	e, ok := pt.entries[head]
+	if !ok || !e.Huge {
+		return
+	}
+	a := pt.ensureAux(head)
+	if off := vpn - head; a.heat[off] < ^uint16(0) {
+		a.heat[off]++
+	}
+}
+
+// SubpageHeat reports the current heat counter for vpn's slot in the huge
+// run covering it (0 when there is no huge run or no recorded writes).
+func (pt *PageTable) SubpageHeat(vpn VPN) uint16 {
+	if pt.aux == nil {
+		return 0
+	}
+	if a := pt.aux[HugeAlign(vpn)]; a != nil {
+		return a.heat[vpn-HugeAlign(vpn)]
+	}
+	return 0
+}
+
+// SubpageHeats returns a snapshot of the per-subpage heat counters for the
+// huge entry headed at head.
+func (pt *PageTable) SubpageHeats(head VPN) [HugePages]uint16 {
+	if a := pt.aux[head]; a != nil {
+		return a.heat
+	}
+	return [HugePages]uint16{}
+}
+
+// DecaySubpageHeat halves every heat counter of the run headed at head (the
+// EWMA step) and advances the age/quiet clocks, returning their new values.
+// The FHPM daemon calls this once per visit: age gates demotion (give a new
+// block time to show heat), quiet gates re-promotion (the block has had no
+// writes for that many consecutive visits).
+func (pt *PageTable) DecaySubpageHeat(head VPN) (age, quiet int) {
+	e, ok := pt.entries[head]
+	if !ok || !e.Huge {
+		panic(fmt.Sprintf("mem: DecaySubpageHeat at vpn %d: no huge entry", head))
+	}
+	a := pt.ensureAux(head)
+	total := 0
+	for i := range a.heat {
+		total += int(a.heat[i])
+		a.heat[i] >>= 1
+	}
+	if a.age < ^uint8(0) {
+		a.age++
+	}
+	if total == 0 {
+		if a.quiet < ^uint8(0) {
+			a.quiet++
+		}
+	} else {
+		a.quiet = 0
+	}
+	return int(a.age), int(a.quiet)
 }
 
 // Range calls fn for every stored entry in unspecified order, stopping early

@@ -65,6 +65,14 @@ type PhysMem struct {
 	// Frames past the last whole block are never huge-backed.
 	blockFree  []int
 	hugeBlocks int
+	// blockHuge tracks, per aligned block, how many of its frames still
+	// carry the huge flag. A freshly allocated block holds HugePages; FHPM
+	// carve-outs (ReleaseHugeFrame) decrement it, re-absorption increments
+	// it, and the block dissolves when it reaches zero.
+	blockHuge []int
+	// hugeFrameN counts frames with the huge flag set, pool-wide, so the
+	// HugeFrames gauge stays O(1) with partially carved blocks.
+	hugeFrameN int
 
 	zero    []byte // canonical zero page for comparisons
 	zeroSum uint64 // checksum of the zero page, precomputed per pool
@@ -118,6 +126,7 @@ func NewPhysMem(totalBytes int64, pageSize int) *PhysMem {
 	for i := range pm.blockFree {
 		pm.blockFree[i] = HugePages
 	}
+	pm.blockHuge = make([]int, n/HugePages)
 	return pm
 }
 
@@ -144,11 +153,14 @@ func (pm *PhysMem) KSMFrames() int { return pm.ksmFrames }
 // happen to be all zero does not count; the gauge tracks the untouched set.
 func (pm *PhysMem) ZeroFrames() int { return pm.zeroFrames }
 
-// HugeBlocks reports how many huge blocks are currently allocated.
+// HugeBlocks reports how many huge blocks are currently allocated (blocks
+// with at least one frame still carrying the huge flag; a partially carved
+// block counts as one).
 func (pm *PhysMem) HugeBlocks() int { return pm.hugeBlocks }
 
-// HugeFrames reports how many frames currently back huge mappings.
-func (pm *PhysMem) HugeFrames() int { return pm.hugeBlocks * HugePages }
+// HugeFrames reports how many frames currently back huge mappings. Carved
+// subpage frames (released via ReleaseHugeFrame) no longer count.
+func (pm *PhysMem) HugeFrames() int { return pm.hugeFrameN }
 
 // IsHugeFrame reports whether the frame belongs to an allocated huge block.
 func (pm *PhysMem) IsHugeFrame(id FrameID) bool { return pm.frameAt(id).huge }
@@ -224,26 +236,111 @@ func (pm *PhysMem) AllocHugeBlock() (FrameID, error) {
 		pm.allocs += HugePages
 		pm.zeroFrames += HugePages
 		pm.hugeBlocks++
+		pm.blockHuge[b] = HugePages
+		pm.hugeFrameN += HugePages
 		return base, nil
 	}
 	return NilFrame, ErrOutOfMemory
 }
 
-// SplitHugeBlock dissolves a huge block back into HugePages independent base
-// frames; contents and refcounts are preserved. The caller re-points its
-// page tables at the now-ordinary frames (see hypervisor.VMProcess.SplitHuge).
+// SplitHugeBlock dissolves a huge block back into independent base frames;
+// contents and refcounts are preserved. Frames already carved out of the
+// block (no longer huge — possibly even freed by their owner) are skipped.
+// The caller re-points its page tables at the now-ordinary frames (see
+// hypervisor.VMProcess.SplitHuge).
 func (pm *PhysMem) SplitHugeBlock(base FrameID) {
 	if base%HugePages != 0 {
 		panic(fmt.Sprintf("mem: SplitHugeBlock(%d) not block-aligned", base))
 	}
+	b := int(base) / HugePages
+	if b >= len(pm.blockHuge) || pm.blockHuge[b] == 0 {
+		panic(fmt.Sprintf("mem: SplitHugeBlock(%d): no huge frames in block", base))
+	}
+	cleared := 0
 	for i := 0; i < HugePages; i++ {
-		f := pm.frameAt(base + FrameID(i))
+		// Direct indexing, not frameAt: a carved frame may have been freed
+		// already and frameAt rejects free frames.
+		f := &pm.frames[base+FrameID(i)]
 		if !f.huge {
-			panic(fmt.Sprintf("mem: SplitHugeBlock(%d): frame %d not huge", base, int(base)+i))
+			continue
 		}
 		f.huge = false
+		cleared++
 	}
+	pm.blockHuge[b] -= cleared
+	pm.hugeFrameN -= cleared
 	pm.hugeBlocks--
+}
+
+// ReleaseHugeFrame carves one frame out of its huge block: the frame keeps
+// its content and refcount but loses the huge flag, becoming an ordinary
+// frame that can be shared (IncRef/SetKSM) or freed individually. When the
+// last huge frame of a block is released the block itself dissolves.
+func (pm *PhysMem) ReleaseHugeFrame(id FrameID) {
+	f := pm.frameAt(id)
+	if !f.huge {
+		panic(fmt.Sprintf("mem: ReleaseHugeFrame on non-huge frame %d", id))
+	}
+	f.huge = false
+	b := int(id) / HugePages
+	pm.blockHuge[b]--
+	pm.hugeFrameN--
+	if pm.blockHuge[b] == 0 {
+		pm.hugeBlocks--
+	}
+}
+
+// ReclaimHugeFrame restores a previously carved frame into its huge block
+// (the re-absorption step of a collapse). The frame must be live, private
+// (refcount 1) and not a KSM stable page — shared content cannot silently
+// rejoin a huge mapping.
+func (pm *PhysMem) ReclaimHugeFrame(id FrameID) {
+	f := pm.frameAt(id)
+	if f.huge {
+		panic(fmt.Sprintf("mem: ReclaimHugeFrame on already-huge frame %d", id))
+	}
+	if f.refcnt != 1 || f.ksm {
+		panic(fmt.Sprintf("mem: ReclaimHugeFrame on shared frame %d (refcnt %d, ksm %v)", id, f.refcnt, f.ksm))
+	}
+	f.huge = true
+	b := int(id) / HugePages
+	pm.blockHuge[b]++
+	pm.hugeFrameN++
+	if pm.blockHuge[b] == 1 {
+		pm.hugeBlocks++
+	}
+}
+
+// IsFree reports whether the frame is currently on the free list.
+func (pm *PhysMem) IsFree(id FrameID) bool {
+	if int(id) >= len(pm.frames) {
+		panic(fmt.Sprintf("mem: frame %d out of range", id))
+	}
+	return pm.frames[id].inFree
+}
+
+// ClaimSpecific allocates one specific free frame (zeroed, refcount 1),
+// reporting whether it was free to claim. Re-absorption uses it to pull a
+// carved subpage's original slot back into its block; the frame's stale
+// free-stack entry is skipped lazily by Alloc, exactly as with
+// AllocHugeBlock's in-place claims.
+func (pm *PhysMem) ClaimSpecific(id FrameID) bool {
+	if int(id) >= len(pm.frames) {
+		panic(fmt.Sprintf("mem: frame %d out of range", id))
+	}
+	f := &pm.frames[id]
+	if !f.inFree {
+		return false
+	}
+	pm.noteTaken(id)
+	f.desc = desc{}
+	f.refcnt = 1
+	f.ksm = false
+	f.huge = false
+	pm.inUse++
+	pm.allocs++
+	pm.zeroFrames++
+	return true
 }
 
 func (pm *PhysMem) frameAt(id FrameID) *frame {

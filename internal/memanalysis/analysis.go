@@ -47,23 +47,41 @@ func (u PageUser) isJava() bool { return u.Kind == KindProcess && u.Proc.IsJava 
 
 // Analysis is a frozen snapshot of frame attribution.
 type Analysis struct {
-	pageSize int
-	phys     *mem.PhysMem
+	pageSize   int
+	tlbEntries int
+	phys       *mem.PhysMem
 	// users lists every (frame, user) mapping pair.
 	users map[mem.FrameID][]PageUser
 	// owner[frame] is the index into users[frame] of the owning mapper.
 	owner map[mem.FrameID]int
 }
 
+// Option configures an Analyze run.
+type Option func(*Analysis)
+
+// WithTLBEntries sizes the modeled TLB for EstimatedTLBReachBytes. Values
+// <= 0 keep the TLBEntries default.
+func WithTLBEntries(n int) Option {
+	return func(a *Analysis) {
+		if n > 0 {
+			a.tlbEntries = n
+		}
+	}
+}
+
 // Analyze walks every translation layer of every guest and attributes every
 // resident host frame. The kernels slice supplies the guest-OS view of each
 // VM (in the same order as host.VMs()).
-func Analyze(host *hypervisor.Host, kernels []*guestos.Kernel) *Analysis {
+func Analyze(host *hypervisor.Host, kernels []*guestos.Kernel, opts ...Option) *Analysis {
 	a := &Analysis{
-		pageSize: host.PageSize(),
-		phys:     host.Phys(),
-		users:    make(map[mem.FrameID][]PageUser),
-		owner:    make(map[mem.FrameID]int),
+		pageSize:   host.PageSize(),
+		tlbEntries: TLBEntries,
+		phys:       host.Phys(),
+		users:      make(map[mem.FrameID][]PageUser),
+		owner:      make(map[mem.FrameID]int),
+	}
+	for _, opt := range opts {
+		opt(a)
 	}
 	for _, k := range kernels {
 		a.walkGuest(k)
@@ -194,22 +212,33 @@ func (a *Analysis) HugeCoverage() float64 {
 	return float64(huge) / float64(huge+base)
 }
 
-// TLBEntries sizes the modeled TLB for the reach estimate: 1024 entries,
-// the order of a unified L2 TLB on the paper's era of x86 hosts.
+// TLBEntries is the default modeled TLB size for the reach estimate: 1024
+// entries, the order of a unified L2 TLB on the paper's era of x86 hosts.
+// Override per run with WithTLBEntries.
 const TLBEntries = 1024
 
-// EstimatedTLBReachBytes estimates how much of the attributed memory a
-// TLB of TLBEntries entries can cover: a huge mapping spends one entry on
-// HugePages pages, a base page spends one entry on itself, so reach is the
-// entry count times the average bytes per mapping entry.
+// EstimatedTLBReachBytes estimates how much of the attributed memory the
+// modeled TLB can cover: each distinct huge block with attributed
+// huge-backed frames spends one entry (the huge mapping covers the whole
+// block — for a partially-split block, the uncarved remainder), and each
+// base frame spends one entry on itself. Reach is the TLB entry count times
+// the average bytes per mapping entry. Carved-out subpages of a partially
+// split block are base frames, so they cost one entry each — exactly the
+// per-subpage granularity FHPM trades against sharing.
 func (a *Analysis) EstimatedTLBReachBytes() int64 {
 	huge, base := a.FrameSizeCounts()
-	entries := huge/mem.HugePages + base
+	blocks := make(map[mem.FrameID]struct{})
+	for f := range a.users {
+		if a.phys.IsHugeFrame(f) {
+			blocks[f/mem.HugePages] = struct{}{}
+		}
+	}
+	entries := len(blocks) + base
 	if entries == 0 {
 		return 0
 	}
 	totalBytes := int64(huge+base) * int64(a.pageSize)
-	return TLBEntries * totalBytes / int64(entries)
+	return int64(a.tlbEntries) * totalBytes / int64(entries)
 }
 
 // TotalSavingsBytes reports cluster-wide TPS savings: for each shared frame,

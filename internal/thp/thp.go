@@ -41,6 +41,12 @@ const (
 	PolicyMadvise
 	// PolicyAlways collapses every registered range.
 	PolicyAlways
+	// PolicyFHPM treats every registered range as eligible (like always)
+	// and additionally runs the fine-grained promote/demote state machine
+	// (arXiv:2307.10618): cold zero subpages are carved out of huge
+	// mappings so KSM can merge them, and quiesced carved blocks are
+	// re-absorbed into full huge mappings.
+	PolicyFHPM
 )
 
 // String reports the sysfs spelling of the policy.
@@ -52,6 +58,8 @@ func (p Policy) String() string {
 		return "madvise"
 	case PolicyAlways:
 		return "always"
+	case PolicyFHPM:
+		return "fhpm"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
@@ -65,8 +73,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return PolicyMadvise, nil
 	case "always":
 		return PolicyAlways, nil
+	case "fhpm":
+		return PolicyFHPM, nil
 	}
-	return PolicyNever, fmt.Errorf("thp: unknown policy %q (want never|madvise|always)", s)
+	return PolicyNever, fmt.Errorf("thp: unknown policy %q (want never|madvise|always|fhpm)", s)
 }
 
 // Config holds the daemon's tuning parameters, mirroring
@@ -105,7 +115,31 @@ type Stats struct {
 	// Splits counts huge mappings dissolved by anyone — the evictor, KSM's
 	// split policy, or guest page releases (thp_split_page).
 	Splits uint64
+	// PartialSplits counts subpages carved out of huge mappings by anyone
+	// (the FHPM demoter or KSM's partial-split policy).
+	PartialSplits uint64
+	// Demotions counts the subset of PartialSplits initiated by this
+	// daemon's cold-subpage demoter.
+	Demotions uint64
+	// Reabsorbs counts carved blocks the daemon promoted back to full huge
+	// mappings after their heat quiesced.
+	Reabsorbs uint64
 }
+
+// FHPM state-machine thresholds, in units of daemon visits to one block
+// (the heat-decay cadence).
+const (
+	// fhpmMinAge delays demotion of a freshly collapsed block: its
+	// subpages start with zero heat, so the daemon waits this many decay
+	// passes for the dirty log to show which ones are actually hot.
+	fhpmMinAge = 2
+	// fhpmQuietPromote is how many consecutive quiet (zero-heat) visits a
+	// carved block must accumulate since its last carve before the daemon
+	// tries to re-absorb it. The window gives KSM time to merge the carved
+	// subpages first — a merged subpage blocks re-absorption (the collapse
+	// refuses to break sharing), which is the preferred outcome.
+	fhpmQuietPromote = 8
+)
 
 // region is one registered scan range, aligned inward to whole runs.
 type region struct {
@@ -143,6 +177,9 @@ func New(host *hypervisor.Host, cfg Config) *Daemon {
 	}
 	d := &Daemon{host: host, cfg: cfg}
 	host.OnHugeSplit = func(*hypervisor.VMProcess, mem.VPN) { d.stats.Splits++ }
+	host.OnPartialSplit = func(_ *hypervisor.VMProcess, _ mem.VPN, n int) {
+		d.stats.PartialSplits += uint64(n)
+	}
 	return d
 }
 
@@ -204,7 +241,7 @@ func (d *Daemon) Unregister(vm *hypervisor.VMProcess) {
 // eligible reports whether the region may collapse under the policy.
 func (d *Daemon) eligible(r region) bool {
 	switch d.cfg.Policy {
-	case PolicyAlways:
+	case PolicyAlways, PolicyFHPM:
 		return true
 	case PolicyMadvise:
 		return r.madvised
@@ -268,16 +305,75 @@ func (d *Daemon) ScanChunk(n int) {
 		if d.cursor >= reg.end {
 			d.advanceRegion()
 		}
-		switch reg.vm.CollapseHuge(head, d.cfg.MaxPtesNone) {
-		case hypervisor.CollapseOK:
-			d.stats.Collapses++
-		case hypervisor.CollapseAlreadyHuge:
-			// Nothing to do; not a failure.
-		default:
-			d.stats.CollapseFailed++
+		if d.cfg.Policy == PolicyFHPM {
+			d.fhpmVisit(reg.vm, head)
+		} else {
+			switch reg.vm.CollapseHuge(head, d.cfg.MaxPtesNone) {
+			case hypervisor.CollapseOK:
+				d.stats.Collapses++
+			case hypervisor.CollapseAlreadyHuge:
+				// Nothing to do; not a failure.
+			default:
+				d.stats.CollapseFailed++
+			}
 		}
 		scanned += mem.HugePages
 		d.stats.PagesScanned += mem.HugePages
+	}
+}
+
+// fhpmVisit is one step of the FHPM promote/demote state machine on the run
+// headed at head:
+//
+//   - a run that is not huge gets the ordinary collapse attempt;
+//   - a huge run has its dirty-ring-fed heat counters decayed (the EWMA
+//     step), then cold zero-content subpages are demoted — carved out so
+//     the merge scanner can fold them into the shared zero page, undoing
+//     collapse's max_ptes_none zero-fill bloat without giving up the hot
+//     remainder's TLB reach;
+//   - a carved run whose heat has stayed quiet since the last carve is
+//     offered back to CollapseHuge for re-absorption. Subpages KSM merged
+//     in the meantime keep the block carved (re-absorption never breaks
+//     sharing); only fully private quiesced blocks promote back.
+func (d *Daemon) fhpmVisit(vm *hypervisor.VMProcess, head mem.VPN) {
+	pte, ok := vm.ResidentPTE(head)
+	if !ok || !pte.Huge {
+		switch vm.CollapseHuge(head, d.cfg.MaxPtesNone) {
+		case hypervisor.CollapseOK:
+			d.stats.Collapses++
+		case hypervisor.CollapseAlreadyHuge:
+			// Not a failure.
+		default:
+			d.stats.CollapseFailed++
+		}
+		return
+	}
+	pt := vm.HostPageTable()
+	age, quiet := pt.DecaySubpageHeat(head)
+	if age >= fhpmMinAge {
+		heats := pt.SubpageHeats(head)
+		phys := vm.Host().Phys()
+		var cold []mem.VPN
+		for off := mem.VPN(1); off < mem.HugePages; off++ {
+			if heats[off] != 0 || pt.CarvedAt(head+off) {
+				continue
+			}
+			if phys.IsZero(pte.Frame + mem.FrameID(off)) {
+				cold = append(cold, head+off)
+			}
+		}
+		if len(cold) > 0 {
+			vm.SplitHugeSubpages(head, cold)
+			d.stats.Demotions += uint64(len(cold))
+			return
+		}
+	}
+	if quiet >= fhpmQuietPromote && pt.CarvedCount(head) > 0 {
+		if vm.CollapseHuge(head, d.cfg.MaxPtesNone) == hypervisor.CollapseOK {
+			d.stats.Reabsorbs++
+		}
+		// A refused re-absorption (carved subpages still shared) is the
+		// steady state of a block contributing KSM savings, not a failure.
 	}
 }
 
@@ -312,6 +408,9 @@ func (d *Daemon) Instrument(r *metrics.Registry) {
 	r.Gauge("thp.collapses", func() float64 { return float64(d.stats.Collapses) })
 	r.Gauge("thp.collapse_failed", func() float64 { return float64(d.stats.CollapseFailed) })
 	r.Gauge("thp.splits", func() float64 { return float64(d.stats.Splits) })
+	r.Gauge("thp.partial_splits", func() float64 { return float64(d.stats.PartialSplits) })
+	r.Gauge("thp.demotions", func() float64 { return float64(d.stats.Demotions) })
+	r.Gauge("thp.reabsorbs", func() float64 { return float64(d.stats.Reabsorbs) })
 	r.Gauge("thp.huge_frames", func() float64 { return float64(d.host.Phys().HugeFrames()) })
 	r.Gauge("thp.huge_coverage", func() float64 {
 		pm := d.host.Phys()

@@ -29,7 +29,7 @@ func denseVM(t *testing.T, h *hypervisor.Host, runs int) *hypervisor.VMProcess {
 }
 
 func TestParsePolicyRoundTrip(t *testing.T) {
-	for _, p := range []Policy{PolicyNever, PolicyMadvise, PolicyAlways} {
+	for _, p := range []Policy{PolicyNever, PolicyMadvise, PolicyAlways, PolicyFHPM} {
 		got, err := ParsePolicy(p.String())
 		if err != nil || got != p {
 			t.Fatalf("round trip of %v: %v, %v", p, got, err)
